@@ -1,0 +1,300 @@
+// Benchmarks regenerating the paper's evaluation (§7): one benchmark per
+// table and figure (experiment index in DESIGN.md), plus micro-benchmarks
+// for the subsystems whose cost the paper discusses. Latencies inside the
+// network simulations are virtual-time measurements reported as custom
+// metrics; Go's ns/op for those benches measures the real cost of
+// simulating, not the system's latency.
+package stellar
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stellar/internal/bucket"
+	"stellar/internal/experiments"
+	"stellar/internal/fba"
+	"stellar/internal/ledger"
+	"stellar/internal/qconfig"
+	"stellar/internal/quorum"
+	"stellar/internal/scp"
+	"stellar/internal/stellarcrypto"
+)
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// BenchmarkMessagesPerLedger is E1 (§7.2): SCP envelopes per ledger.
+func BenchmarkMessagesPerLedger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMessagesPerLedger(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanPerLedger, "msgs/ledger")
+	}
+}
+
+// BenchmarkTimeoutProfile is E2 (Figure 8): timeout percentiles on
+// degraded links.
+func BenchmarkTimeoutProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTimeoutProfile(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Nomination99), "nom-timeouts-p99")
+		b.ReportMetric(float64(res.Balloting99), "ballot-timeouts-p99")
+	}
+}
+
+// BenchmarkLatencyVsAccounts is E3 (Figure 9).
+func BenchmarkLatencyVsAccounts(b *testing.B) {
+	for _, accounts := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunAccountsSweep([]int{accounts}, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(msf(r.Nomination), "nominate-ms")
+				b.ReportMetric(msf(r.Balloting), "ballot-ms")
+				b.ReportMetric(msf(r.LedgerUpdate), "ledgerupd-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkLatencyVsLoad is E4 (Figure 10).
+func BenchmarkLatencyVsLoad(b *testing.B) {
+	for _, rate := range []float64{100, 200, 300} {
+		b.Run(fmt.Sprintf("rate=%.0f", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunLoadSweep([]float64{rate}, 10_000, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(msf(r.LedgerUpdate), "ledgerupd-ms")
+				b.ReportMetric(r.TxPerLedger, "tx/ledger")
+			}
+		})
+	}
+}
+
+// BenchmarkLatencyVsValidators is E5 (Figure 11).
+func BenchmarkLatencyVsValidators(b *testing.B) {
+	for _, n := range []int{4, 10, 19} {
+		b.Run(fmt.Sprintf("validators=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunValidatorsSweep([]int{n}, 2_000, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(msf(r.Nomination), "nominate-ms")
+				b.ReportMetric(msf(r.Balloting), "ballot-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkBaseline is E6/E7 (§7.3): the baseline experiment and close
+// rate.
+func BenchmarkBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBaseline(10_000, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TxPerLedgerMean, "tx/ledger")
+		b.ReportMetric(res.Row.CloseMean.Seconds(), "close-s")
+	}
+}
+
+// BenchmarkValidatorCost is E8 (§7.4).
+func BenchmarkValidatorCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunValidatorCost(10, 5_000, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.InboundMbitSec, "in-Mbit/s")
+		b.ReportMetric(res.HeapMiB, "heap-MiB")
+	}
+}
+
+// BenchmarkQuorumIntersection is E9/E10 (§6.2): the checker on tiered
+// topologies of growing size.
+func BenchmarkQuorumIntersection(b *testing.B) {
+	for _, orgs := range []int{5, 7, 9} {
+		cfg := qconfig.SimulatedNetwork(orgs, 3, qconfig.High)
+		qs, err := cfg.QuorumSets()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("orgs=%d", orgs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := quorum.CheckIntersection(qs)
+				if !res.Intersects {
+					b.Fatal("intersection violated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCriticality is the E10 companion: per-org worst-case analysis.
+func BenchmarkCriticality(b *testing.B) {
+	cfg := qconfig.SimulatedNetwork(5, 3, qconfig.High)
+	qs, err := cfg.QuorumSets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	orgs := quorum.GroupByPrefix(qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := quorum.CheckCriticality(qs, orgs)
+		if rep.AnyCritical() {
+			b.Fatal("unexpected critical org")
+		}
+	}
+}
+
+// BenchmarkSCPvsPBFT is E11: the closed-membership baseline comparison.
+func BenchmarkSCPvsPBFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSCPvsPBFT([]int{4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(msf(rows[0].SCPLatency), "scp-ms")
+		b.ReportMetric(msf(rows[0].PBFTLatency), "pbft-ms")
+	}
+}
+
+// BenchmarkTimeoutPolicy is the DESIGN §4 ablation: ballot timeout growth.
+func BenchmarkTimeoutPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTimeoutPolicyAblation(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].CloseMean.Seconds(), "linear-close-s")
+		b.ReportMetric(rows[len(rows)-1].CloseMean.Seconds(), "const-close-s")
+	}
+}
+
+// --- micro-benchmarks on the subsystems the paper's costs come from ---
+
+// BenchmarkBucketSpill measures bucket-list ingestion including spills,
+// the "overhead of merging buckets, which get larger" of Figure 9.
+func BenchmarkBucketSpill(b *testing.B) {
+	for _, preload := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("entries=%d", preload), func(b *testing.B) {
+			l := bucket.NewList()
+			var batch []bucket.Entry
+			for i := 0; i < preload; i++ {
+				batch = append(batch, bucket.Entry{
+					Key:  fmt.Sprintf("a|acct%08d", i),
+					Data: []byte("balance"),
+				})
+			}
+			l.AddBatch(1, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var delta []bucket.Entry
+				for j := 0; j < 100; j++ {
+					delta = append(delta, bucket.Entry{
+						Key:  fmt.Sprintf("a|acct%08d", (i*100+j)%preload),
+						Data: []byte("changed"),
+					})
+				}
+				l.AddBatch(uint32(i+2), delta)
+			}
+		})
+	}
+}
+
+// BenchmarkLedgerApplyPayment measures raw payment throughput of the
+// transaction engine.
+func BenchmarkLedgerApplyPayment(b *testing.B) {
+	networkID := stellarcrypto.HashBytes([]byte("bench"))
+	masterKP := stellarcrypto.KeyPairFromString("bench-master")
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	st := ledger.NewGenesisState(master)
+	aliceKP := stellarcrypto.KeyPairFromString("bench-alice")
+	alice := ledger.AccountIDFromPublicKey(aliceKP.Public)
+	env := &ledger.ApplyEnv{LedgerSeq: 2, CloseTime: 1}
+	setup := &ledger.Transaction{
+		Source: master, Fee: ledger.DefaultBaseFee, SeqNum: 1,
+		Operations: []ledger.Operation{{
+			Body: &ledger.CreateAccount{Destination: alice, StartingBalance: ledger.TotalSupply / 2},
+		}},
+	}
+	setup.Sign(networkID, masterKP)
+	if res := st.ApplyTransaction(setup, networkID, env); !res.Success {
+		b.Fatal(res.Err)
+	}
+	seq := st.Account(alice).SeqNum
+	txs := make([]*ledger.Transaction, b.N)
+	for i := range txs {
+		txs[i] = &ledger.Transaction{
+			Source: alice, Fee: ledger.DefaultBaseFee, SeqNum: seq + uint64(i) + 1,
+			Operations: []ledger.Operation{{
+				Body: &ledger.Payment{Destination: master, Asset: ledger.NativeAsset(), Amount: 1},
+			}},
+		}
+		txs[i].Sign(networkID, aliceKP)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := st.ApplyTransaction(txs[i], networkID, env); !res.Success {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkEnvelopeSignVerify measures the crypto cost of one SCP
+// envelope round trip.
+func BenchmarkEnvelopeSignVerify(b *testing.B) {
+	kp := stellarcrypto.KeyPairFromString("bench-validator")
+	id := fba.NodeIDFromPublicKey(kp.Public)
+	env := &scp.Envelope{
+		Node: id, Slot: 1, Seq: 1,
+		QSet:      fba.Majority(id),
+		Statement: scp.Statement{Type: scp.StmtNominate, Votes: []scp.Value{scp.Value("v")}},
+	}
+	pk := kp.Public
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Signature = kp.Secret.Sign(env.SigningPayload())
+		if !pk.Verify(env.SigningPayload(), env.Signature) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// BenchmarkSCPRound measures one full consensus round (nominate →
+// externalize) for a 4-node network in simulation.
+func BenchmarkSCPRound(b *testing.B) {
+	s, err := experiments.Build(experiments.Options{
+		Validators: 4, Accounts: 64, NoLoad: true, LedgerInterval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	s.Run(3 * time.Second) // warm-up: first ledger closes
+	b.ResetTimer()
+	start := s.Nodes[0].LastHeader().LedgerSeq
+	for i := 0; i < b.N; i++ {
+		s.Run(1200 * time.Millisecond)
+	}
+	b.StopTimer()
+	closed := int(s.Nodes[0].LastHeader().LedgerSeq - start)
+	if closed == 0 {
+		b.Fatal("no ledgers closed")
+	}
+	b.ReportMetric(float64(closed)/float64(b.N), "ledgers/iter")
+}

@@ -1,0 +1,170 @@
+// Command quorumcheck is the §6.2 misconfiguration detector as a tool: it
+// reads a network's quorum configuration from JSON, checks quorum
+// intersection (reporting disjoint-quorum witnesses when violated), and
+// runs the criticality analysis that warns when the network is one
+// misconfiguration away from divergence.
+//
+// Input format (see -example):
+//
+//	{
+//	  "orgs": [
+//	    {"name": "sdf", "quality": "high", "validators": ["sdf-0","sdf-1","sdf-2"]},
+//	    ...
+//	  ]
+//	}
+//
+// or an explicit per-node quorum set map:
+//
+//	{
+//	  "nodes": {
+//	    "n1": {"threshold": 2, "validators": ["n1","n2","n3"]},
+//	    ...
+//	  }
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/qconfig"
+	"stellar/internal/quorum"
+)
+
+type fileFormat struct {
+	Orgs []struct {
+		Name       string   `json:"name"`
+		Quality    string   `json:"quality"`
+		Validators []string `json:"validators"`
+	} `json:"orgs"`
+	Nodes map[string]jsonQSet `json:"nodes"`
+}
+
+type jsonQSet struct {
+	Threshold  int        `json:"threshold"`
+	Validators []string   `json:"validators"`
+	InnerSets  []jsonQSet `json:"inner_sets"`
+}
+
+func (j jsonQSet) toQuorumSet() fba.QuorumSet {
+	q := fba.QuorumSet{Threshold: j.Threshold}
+	for _, v := range j.Validators {
+		q.Validators = append(q.Validators, fba.NodeID(v))
+	}
+	for _, in := range j.InnerSets {
+		q.InnerSets = append(q.InnerSets, in.toQuorumSet())
+	}
+	return q
+}
+
+const exampleConfig = `{
+  "orgs": [
+    {"name": "sdf",        "quality": "high", "validators": ["sdf-0", "sdf-1", "sdf-2"]},
+    {"name": "satoshipay", "quality": "high", "validators": ["satoshipay-0", "satoshipay-1", "satoshipay-2"]},
+    {"name": "lobstr",     "quality": "high", "validators": ["lobstr-0", "lobstr-1", "lobstr-2"]},
+    {"name": "coinqvest",  "quality": "high", "validators": ["coinqvest-0", "coinqvest-1", "coinqvest-2"]},
+    {"name": "keybase",    "quality": "high", "validators": ["keybase-0", "keybase-1", "keybase-2"]}
+  ]
+}`
+
+func main() {
+	file := flag.String("config", "", "path to quorum configuration JSON ('-' for stdin)")
+	example := flag.Bool("example", false, "print an example configuration (the §7.2 tier-one orgs) and exit")
+	skipCritical := flag.Bool("no-critical", false, "skip the criticality analysis")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleConfig)
+		return
+	}
+	var raw []byte
+	var err error
+	switch *file {
+	case "":
+		fmt.Fprintln(os.Stderr, "quorumcheck: -config required (try -example)")
+		os.Exit(2)
+	case "-":
+		raw, err = readAll(os.Stdin)
+	default:
+		raw, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fatal("read config: %v", err)
+	}
+
+	var cfg fileFormat
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal("parse config: %v", err)
+	}
+
+	qsets := make(fba.QuorumSets)
+	var orgs []quorum.Org
+	switch {
+	case len(cfg.Orgs) > 0:
+		qc := qconfig.Config{}
+		for _, o := range cfg.Orgs {
+			q, err := qconfig.ParseQuality(o.Quality)
+			if err != nil {
+				fatal("org %s: %v", o.Name, err)
+			}
+			org := qconfig.Organization{Name: o.Name, Quality: q}
+			for _, v := range o.Validators {
+				org.Validators = append(org.Validators, fba.NodeID(v))
+			}
+			qc.Orgs = append(qc.Orgs, org)
+		}
+		qsets, err = qc.QuorumSets()
+		if err != nil {
+			fatal("synthesize: %v", err)
+		}
+		synth, _ := qc.Synthesize()
+		fmt.Printf("synthesized quorum set (Figure 6 rules):\n  %s\n\n", synth.String())
+		for _, o := range qc.Orgs {
+			orgs = append(orgs, quorum.Org{Name: o.Name, Validators: o.Validators})
+		}
+	case len(cfg.Nodes) > 0:
+		for id, jq := range cfg.Nodes {
+			q := jq.toQuorumSet()
+			if err := q.Validate(); err != nil {
+				fatal("node %s: %v", id, err)
+			}
+			qsets[fba.NodeID(id)] = &q
+		}
+		orgs = quorum.GroupByPrefix(qsets)
+	default:
+		fatal("config has neither orgs nor nodes")
+	}
+
+	fmt.Printf("checking %d nodes...\n", len(qsets))
+	start := time.Now()
+	res := quorum.CheckIntersection(qsets)
+	fmt.Printf("quorum intersection: %s (%v)\n", res, time.Since(start).Round(time.Millisecond))
+	if !res.Intersects && res.HasQuorum {
+		fmt.Printf("  witness 1: %s\n  witness 2: %s\n", res.Disjoint1, res.Disjoint2)
+		os.Exit(1)
+	}
+
+	if !*skipCritical {
+		start = time.Now()
+		rep := quorum.CheckCriticality(qsets, orgs)
+		if rep.AnyCritical() {
+			fmt.Printf("CRITICAL organizations (one misconfiguration from divergence): %v (%v)\n",
+				rep.Critical, time.Since(start).Round(time.Millisecond))
+			os.Exit(1)
+		}
+		fmt.Printf("criticality: no organization is one misconfiguration from divergence (%d checks, %v)\n",
+			rep.Checks, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func readAll(f *os.File) ([]byte, error) { return io.ReadAll(f) }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "quorumcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

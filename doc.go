@@ -1,0 +1,8 @@
+// Package stellar is a from-scratch Go reproduction of "Fast and secure
+// global payments with Stellar" (SOSP 2019): the Stellar Consensus
+// Protocol, the federated Byzantine agreement model, and the full payment
+// network built on them. See README.md for the guided tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record. The public API lives in internal/core; bench_test.go regenerates
+// every table and figure from the paper's evaluation.
+package stellar

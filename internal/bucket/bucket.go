@@ -1,0 +1,293 @@
+// Package bucket implements the bucket list of paper §5.1: the ledger
+// snapshot is stratified by time of last modification into exponentially
+// sized buckets, similar to an LSM-tree, so that each ledger close only
+// rehashes the small, recently changed buckets while the hash of the whole
+// ledger state stays well defined (Fig 3's snapshot hash).
+//
+// Because the bucket list is not read during transaction processing, the
+// usual LSM design constraints are relaxed: there is no random access by
+// key on the hot path, and buckets are only read sequentially while
+// merging levels or reconciling state after a disconnection.
+package bucket
+
+import (
+	"fmt"
+	"sort"
+
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// Entry is one ledger entry in canonical encoded form; a nil Data is a
+// tombstone recording a deletion.
+type Entry = ledger.SnapshotEntry
+
+// Bucket is an immutable, key-sorted set of entries with a content hash.
+type Bucket struct {
+	entries []Entry
+	hash    stellarcrypto.Hash
+}
+
+// NewBucket builds a bucket from entries (which must not contain duplicate
+// keys; they will be sorted).
+func NewBucket(entries []Entry) *Bucket {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	b := &Bucket{entries: es}
+	b.rehash()
+	return b
+}
+
+var emptyBucket = NewBucket(nil)
+
+// EmptyBucket returns the canonical empty bucket.
+func EmptyBucket() *Bucket { return emptyBucket }
+
+func (b *Bucket) rehash() {
+	e := xdr.NewEncoder(64 * len(b.entries))
+	for _, entry := range b.entries {
+		e.PutString(entry.Key)
+		if entry.Data == nil {
+			e.PutBool(false)
+		} else {
+			e.PutBool(true)
+			e.PutBytes(entry.Data)
+		}
+	}
+	b.hash = stellarcrypto.HashBytes(e.Bytes())
+}
+
+// Hash returns the bucket's content hash.
+func (b *Bucket) Hash() stellarcrypto.Hash { return b.hash }
+
+// Len returns the number of entries (tombstones included).
+func (b *Bucket) Len() int { return len(b.entries) }
+
+// Empty reports whether the bucket holds no entries.
+func (b *Bucket) Empty() bool { return len(b.entries) == 0 }
+
+// Entries exposes the sorted entries; callers must not mutate them.
+func (b *Bucket) Entries() []Entry { return b.entries }
+
+// Get looks up a key, reporting (entry, found). Binary search; used only
+// by reconciliation and state restore, never transaction processing.
+func (b *Bucket) Get(key string) (Entry, bool) {
+	i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].Key >= key })
+	if i < len(b.entries) && b.entries[i].Key == key {
+		return b.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Merge combines newer onto older: for duplicate keys the newer entry
+// shadows the older one. When keepTombstones is false (merging into the
+// bottom level), deletions annihilate entirely.
+func Merge(newer, older *Bucket, keepTombstones bool) *Bucket {
+	out := make([]Entry, 0, len(newer.entries)+len(older.entries))
+	i, j := 0, 0
+	for i < len(newer.entries) || j < len(older.entries) {
+		var e Entry
+		switch {
+		case j >= len(older.entries):
+			e = newer.entries[i]
+			i++
+		case i >= len(newer.entries):
+			e = older.entries[j]
+			j++
+		case newer.entries[i].Key < older.entries[j].Key:
+			e = newer.entries[i]
+			i++
+		case newer.entries[i].Key > older.entries[j].Key:
+			e = older.entries[j]
+			j++
+		default: // same key: newer shadows older
+			e = newer.entries[i]
+			i++
+			j++
+		}
+		if e.Data == nil && !keepTombstones {
+			continue
+		}
+		out = append(out, e)
+	}
+	b := &Bucket{entries: out}
+	b.rehash()
+	return b
+}
+
+// NumLevels is the depth of the bucket list. With fanout 4 and two buckets
+// per level, level i covers ~2·4^i ledgers; 9 levels span ~10^5 ledgers of
+// history compression, ample for simulation scales.
+const NumLevels = 9
+
+// level holds the two buckets of one level: curr accumulates recent spills
+// and snap awaits the next spill to the level below.
+type level struct {
+	curr *Bucket
+	snap *Bucket
+}
+
+// List is the bucket list: one level pair per exponential age band, plus
+// the running list hash (a small, fixed index of bucket hashes re-hashed
+// at each ledger close, §5.1).
+type List struct {
+	levels [NumLevels]level
+	hash   stellarcrypto.Hash
+}
+
+// NewList creates an empty bucket list.
+func NewList() *List {
+	l := &List{}
+	for i := range l.levels {
+		l.levels[i] = level{curr: emptyBucket, snap: emptyBucket}
+	}
+	l.rehash()
+	return l
+}
+
+// half returns the spill period of a level in ledgers.
+func half(i int) uint32 {
+	h := uint32(2)
+	for ; i > 0; i-- {
+		h *= 4
+	}
+	return h
+}
+
+// AddBatch ingests the entries changed by ledger ledgerSeq, spilling
+// levels whose period has elapsed, and recomputes the cumulative hash.
+func (l *List) AddBatch(ledgerSeq uint32, changed []Entry) {
+	// Spill from the deepest level upward so a batch moves at most one
+	// level per close.
+	for i := NumLevels - 2; i >= 0; i-- {
+		if ledgerSeq%half(i) != 0 {
+			continue
+		}
+		keepTombstones := i+1 < NumLevels-1
+		l.levels[i+1].curr = Merge(l.levels[i].snap, l.levels[i+1].curr, keepTombstones)
+		l.levels[i].snap = l.levels[i].curr
+		l.levels[i].curr = emptyBucket
+	}
+	l.levels[0].curr = Merge(NewBucket(changed), l.levels[0].curr, true)
+	l.rehash()
+}
+
+// rehash recomputes the cumulative list hash from the per-bucket hashes.
+func (l *List) rehash() {
+	e := xdr.NewEncoder(NumLevels * 64)
+	for i := range l.levels {
+		h := l.levels[i].curr.Hash()
+		e.PutFixed(h[:])
+		h = l.levels[i].snap.Hash()
+		e.PutFixed(h[:])
+	}
+	l.hash = stellarcrypto.HashBytes(e.Bytes())
+}
+
+// Hash returns the snapshot hash over all ledger entries.
+func (l *List) Hash() stellarcrypto.Hash { return l.hash }
+
+// BucketHashes returns the 2·NumLevels bucket hashes (curr, snap per
+// level), the "small, fixed index of reference hashes" of §5.1.
+func (l *List) BucketHashes() []stellarcrypto.Hash {
+	out := make([]stellarcrypto.Hash, 0, 2*NumLevels)
+	for i := range l.levels {
+		out = append(out, l.levels[i].curr.Hash(), l.levels[i].snap.Hash())
+	}
+	return out
+}
+
+// Bucket returns the bucket at (level, snap?) for archival.
+func (l *List) Bucket(levelIdx int, snap bool) (*Bucket, error) {
+	if levelIdx < 0 || levelIdx >= NumLevels {
+		return nil, fmt.Errorf("bucket: level %d out of range", levelIdx)
+	}
+	if snap {
+		return l.levels[levelIdx].snap, nil
+	}
+	return l.levels[levelIdx].curr, nil
+}
+
+// SetBucket installs a bucket (used by reconciliation after downloading a
+// differing bucket from a peer or archive).
+func (l *List) SetBucket(levelIdx int, snap bool, b *Bucket) error {
+	if levelIdx < 0 || levelIdx >= NumLevels {
+		return fmt.Errorf("bucket: level %d out of range", levelIdx)
+	}
+	if snap {
+		l.levels[levelIdx].snap = b
+	} else {
+		l.levels[levelIdx].curr = b
+	}
+	l.rehash()
+	return nil
+}
+
+// Get returns the newest version of a key across all levels, reporting
+// whether it is live ((entry,true)), deleted, or absent ((_, false)).
+func (l *List) Get(key string) (Entry, bool) {
+	for i := range l.levels {
+		if e, ok := l.levels[i].curr.Get(key); ok {
+			return e, e.Data != nil
+		}
+		if e, ok := l.levels[i].snap.Get(key); ok {
+			return e, e.Data != nil
+		}
+	}
+	return Entry{}, false
+}
+
+// AllLive returns every live entry, newest version winning, sorted by key.
+// Used to restore full ledger state from an archived bucket list.
+func (l *List) AllLive() []Entry {
+	seen := make(map[string]struct{})
+	var out []Entry
+	scan := func(b *Bucket) {
+		for _, e := range b.Entries() {
+			if _, dup := seen[e.Key]; dup {
+				continue
+			}
+			seen[e.Key] = struct{}{}
+			if e.Data != nil {
+				out = append(out, e)
+			}
+		}
+	}
+	for i := range l.levels {
+		scan(l.levels[i].curr)
+		scan(l.levels[i].snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TotalEntries counts entries across all buckets (tombstones included),
+// a measure of bucket merge workload (experiment E3's overhead driver).
+func (l *List) TotalEntries() int {
+	n := 0
+	for i := range l.levels {
+		n += l.levels[i].curr.Len() + l.levels[i].snap.Len()
+	}
+	return n
+}
+
+// DiffHashes compares two bucket-hash indexes and returns the positions
+// that differ — reconciliation after disconnection downloads only those
+// buckets (§5.1).
+func DiffHashes(a, b []stellarcrypto.Hash) []int {
+	var out []int
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			out = append(out, i)
+		}
+	}
+	for i := n; i < len(a) || i < len(b); i++ {
+		out = append(out, i)
+	}
+	return out
+}

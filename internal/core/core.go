@@ -1,0 +1,137 @@
+// Package core is the headline public API of the Stellar reproduction: it
+// re-exports the types a downstream user needs to stand up validators, run
+// SCP consensus, issue assets, and trade — one import path over the
+// internal packages that implement the paper's systems.
+//
+// Layering (see DESIGN.md):
+//
+//	core → herder (validator) → scp (consensus) + ledger (transactions,
+//	order book) + bucket (snapshots) + history (archives), all running on
+//	the simnet discrete-event network.
+package core
+
+import (
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/herder"
+	"stellar/internal/history"
+	"stellar/internal/ledger"
+	"stellar/internal/qconfig"
+	"stellar/internal/quorum"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// Identity and crypto.
+type (
+	// KeyPair is an ed25519 validator or account key pair.
+	KeyPair = stellarcrypto.KeyPair
+	// Hash is a SHA-256 content hash.
+	Hash = stellarcrypto.Hash
+	// NodeID names a validator (its public key address).
+	NodeID = fba.NodeID
+)
+
+// FBA configuration (paper §3.1).
+type (
+	// QuorumSet is a nested threshold quorum-slice declaration.
+	QuorumSet = fba.QuorumSet
+	// QuorumSets maps nodes to their declared quorum sets.
+	QuorumSets = fba.QuorumSets
+	// NodeSet is a set of node IDs.
+	NodeSet = fba.NodeSet
+)
+
+// Ledger model (paper §5.1–§5.2).
+type (
+	// AccountID names a ledger account.
+	AccountID = ledger.AccountID
+	// Asset is XLM or an issued token.
+	Asset = ledger.Asset
+	// Amount is a quantity in stroops (10^-7 tokens).
+	Amount = ledger.Amount
+	// Price is a rational exchange rate.
+	Price = ledger.Price
+	// Transaction is the atomic unit of ledger change.
+	Transaction = ledger.Transaction
+	// Operation is one action inside a transaction.
+	Operation = ledger.Operation
+	// State is the in-memory ledger.
+	State = ledger.State
+	// Header is a closed ledger's header (Fig 3).
+	Header = ledger.Header
+)
+
+// Validator stack (paper §5).
+type (
+	// Validator is a full node: SCP + replicated state machine.
+	Validator = herder.Node
+	// ValidatorConfig parameterizes a validator.
+	ValidatorConfig = herder.Config
+	// Network is the discrete-event simulated network.
+	Network = simnet.Network
+	// Archive is a flat-file history archive (§5.4).
+	Archive = history.Archive
+)
+
+// Consensus (paper §3).
+type (
+	// SCPNode is a bare consensus participant (no ledger).
+	SCPNode = scp.Node
+	// Value is an opaque consensus value.
+	Value = scp.Value
+)
+
+// One token in stroops.
+const One = ledger.One
+
+// GenerateKeyPair creates a random validator/account key.
+func GenerateKeyPair() (KeyPair, error) { return stellarcrypto.GenerateKeyPair() }
+
+// KeyPairFromString derives a deterministic key from a label (tests,
+// examples, reproducible simulations).
+func KeyPairFromString(label string) KeyPair { return stellarcrypto.KeyPairFromString(label) }
+
+// HashBytes hashes arbitrary bytes.
+func HashBytes(b []byte) Hash { return stellarcrypto.HashBytes(b) }
+
+// NewNetwork creates a deterministic simulated network.
+func NewNetwork(seed int64) *Network { return simnet.New(seed) }
+
+// NewValidator creates a validator on the network.
+func NewValidator(net *Network, cfg ValidatorConfig) (*Validator, error) {
+	return herder.New(net, cfg)
+}
+
+// GenesisState builds the canonical genesis ledger for a network ID,
+// returning the master account key holding the initial XLM supply.
+func GenesisState(networkID Hash) (*State, KeyPair) { return herder.GenesisState(networkID) }
+
+// Majority builds a simple-majority quorum set over the given nodes.
+func Majority(ids ...NodeID) QuorumSet { return fba.Majority(ids...) }
+
+// CheckQuorumIntersection runs the §6.2.1 misconfiguration detector.
+func CheckQuorumIntersection(qs QuorumSets) quorum.Result { return quorum.CheckIntersection(qs) }
+
+// SynthesizeQuorumConfig builds Figure 6 quality-tier quorum sets.
+func SynthesizeQuorumConfig(cfg qconfig.Config) (QuorumSet, error) { return cfg.Synthesize() }
+
+// OpenArchive opens (creating if needed) a history archive directory.
+func OpenArchive(dir string) (*Archive, error) { return history.Open(dir) }
+
+// DefaultLedgerInterval is the production close cadence (§1).
+const DefaultLedgerInterval = 5 * time.Second
+
+// NativeAsset returns XLM.
+func NativeAsset() Asset { return ledger.NativeAsset() }
+
+// NewAsset builds an issued asset.
+func NewAsset(code string, issuer AccountID) (Asset, error) { return ledger.NewAsset(code, issuer) }
+
+// ParseAmount parses a decimal token amount into stroops.
+func ParseAmount(s string) (Amount, error) { return ledger.ParseAmount(s) }
+
+// FormatAmount renders stroops as a decimal amount.
+func FormatAmount(a Amount) string { return ledger.FormatAmount(a) }

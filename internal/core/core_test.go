@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/ledger"
+	"stellar/internal/qconfig"
+)
+
+// TestFacadeEndToEnd stands up a two-validator network purely through the
+// core facade and closes ledgers with a payment — the downstream-user
+// happy path.
+func TestFacadeEndToEnd(t *testing.T) {
+	net := NewNetwork(9)
+	networkID := HashBytes([]byte("core-facade-test"))
+
+	kp1 := KeyPairFromString("core-v1")
+	kp2 := KeyPairFromString("core-v2")
+	id1 := NodeID(kp1.Public.Address())
+	id2 := NodeID(kp2.Public.Address())
+	qset := Majority(id1, id2)
+
+	genesis, masterKP := GenesisState(networkID)
+	snapshot := genesis.SnapshotAll()
+	ghdr := ledger.GenesisHeader(genesis, 0)
+
+	var validators []*Validator
+	for _, kp := range []KeyPair{kp1, kp2} {
+		v, err := NewValidator(net, ValidatorConfig{
+			Keys:           kp,
+			QSet:           qset,
+			NetworkID:      networkID,
+			LedgerInterval: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ledger.RestoreState(snapshot, ghdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Bootstrap(st, 0)
+		validators = append(validators, v)
+	}
+	validators[0].Overlay().Connect(validators[1].Addr())
+	validators[1].Overlay().Connect(validators[0].Addr())
+	for _, v := range validators {
+		v.Start()
+	}
+	net.RunFor(3 * time.Second)
+
+	// Submit a payment via the facade types.
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	aliceKP := KeyPairFromString("core-alice")
+	alice := ledger.AccountIDFromPublicKey(aliceKP.Public)
+	amount, err := ParseAmount("42.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := validators[0].State().Account(master).SeqNum
+	tx := &Transaction{
+		Source: master, Fee: 100, SeqNum: seq + 1,
+		Operations: []Operation{{
+			Body: &ledger.CreateAccount{Destination: alice, StartingBalance: amount},
+		}},
+	}
+	tx.Sign(networkID, masterKP)
+	if err := validators[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(5 * time.Second)
+
+	for i, v := range validators {
+		if got := v.State().BalanceOf(alice, NativeAsset()); got != amount {
+			t.Fatalf("validator %d: alice balance %s", i, FormatAmount(got))
+		}
+	}
+	if FormatAmount(amount) != "42.5000000" {
+		t.Fatalf("FormatAmount = %s", FormatAmount(amount))
+	}
+}
+
+func TestFacadeQuorumHelpers(t *testing.T) {
+	q := Majority("a", "b", "c")
+	qs := QuorumSets{"a": &q, "b": &q, "c": &q}
+	res := CheckQuorumIntersection(qs)
+	if !res.Intersects {
+		t.Fatal("majority trio should intersect")
+	}
+	synth, err := SynthesizeQuorumConfig(qconfig.SimulatedNetwork(4, 3, qconfig.High))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAssetsAndArchive(t *testing.T) {
+	a, err := NewAsset("USD", "GISSUER")
+	if err != nil || a.IsNative() {
+		t.Fatal("NewAsset broken")
+	}
+	if !NativeAsset().IsNative() {
+		t.Fatal("NativeAsset broken")
+	}
+	arch, err := OpenArchive(t.TempDir())
+	if err != nil || arch == nil {
+		t.Fatal("OpenArchive broken")
+	}
+	kp, err := GenerateKeyPair()
+	if err != nil || kp.Public.IsZero() {
+		t.Fatal("GenerateKeyPair broken")
+	}
+	if DefaultLedgerInterval != 5*time.Second {
+		t.Fatal("wrong production cadence")
+	}
+	if One != 10_000_000 {
+		t.Fatal("wrong stroop scale")
+	}
+}

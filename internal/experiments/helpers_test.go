@@ -1,0 +1,6 @@
+package experiments
+
+import "stellar/internal/ledger"
+
+func nativeAsset() ledger.Asset { return ledger.NativeAsset() }
+func one() ledger.Amount        { return ledger.One }

@@ -1,0 +1,200 @@
+package fba
+
+// System-level FBA analysis: quorums that emerge from a collection of nodes'
+// quorum sets, transitive closures, and (for small networks) exhaustive
+// intertwined/intact classification used to validate protocol properties.
+
+// QuorumSets maps every known node to its declared quorum set. Nodes learn
+// each other's sets from SCP envelopes; analysis tools read them from
+// configuration.
+type QuorumSets map[NodeID]*QuorumSet
+
+// IsQuorum reports whether S is a quorum under the FBA definition: S is
+// non-empty and every member of S (that has a known quorum set) has a slice
+// contained in S. Members with unknown quorum sets are treated as not
+// satisfied, which is the conservative reading for safety analysis.
+func IsQuorum(s NodeSet, qsets QuorumSets) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for id := range s {
+		q, ok := qsets[id]
+		if !ok || !q.SatisfiedBy(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxQuorumWithin returns the largest quorum contained in candidate, or an
+// empty set if none exists. It computes the greatest fixpoint: repeatedly
+// remove nodes whose quorum set is not satisfied by the remaining set.
+func MaxQuorumWithin(candidate NodeSet, qsets QuorumSets) NodeSet {
+	s := candidate.Copy()
+	for {
+		removed := false
+		for id := range s {
+			q, ok := qsets[id]
+			if !ok || !q.SatisfiedBy(s) {
+				s.Remove(id)
+				removed = true
+			}
+		}
+		if !removed {
+			return s
+		}
+	}
+}
+
+// TransitiveClosure returns every node reachable from start by following
+// quorum-set membership edges (u depends on v if v appears in u's quorum
+// set). This is the node's view of "the network" and the input to the
+// quorum-intersection checker (paper §6.2).
+func TransitiveClosure(start NodeID, qsets QuorumSets) NodeSet {
+	seen := NewNodeSet(start)
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		q, ok := qsets[id]
+		if !ok {
+			continue
+		}
+		for member := range q.Members() {
+			if !seen.Has(member) {
+				seen.Add(member)
+				frontier = append(frontier, member)
+			}
+		}
+	}
+	return seen
+}
+
+// Intertwined reports whether nodes a and b are intertwined given the faulty
+// set: every quorum of a intersects every quorum of b in at least one
+// non-faulty node (paper §3.1). Exponential in network size — analysis and
+// test use only.
+func Intertwined(a, b NodeID, qsets QuorumSets, faulty NodeSet) bool {
+	qa := quorumsContaining(a, qsets)
+	qb := quorumsContaining(b, qsets)
+	for _, q1 := range qa {
+		for _, q2 := range qb {
+			if !q1.Intersect(q2).Minus(faulty).nonEmpty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s NodeSet) nonEmpty() bool { return len(s) > 0 }
+
+// quorumsContaining enumerates all quorums containing the given node by
+// subset enumeration over the node's transitive closure. Exponential; small
+// networks only.
+func quorumsContaining(id NodeID, qsets QuorumSets) []NodeSet {
+	closure := TransitiveClosure(id, qsets).Sorted()
+	// Move id to position 0 and force its inclusion.
+	for i, n := range closure {
+		if n == id {
+			closure[0], closure[i] = closure[i], closure[0]
+			break
+		}
+	}
+	rest := closure[1:]
+	var out []NodeSet
+	for mask := 0; mask < 1<<len(rest); mask++ {
+		s := NewNodeSet(id)
+		for i, n := range rest {
+			if mask&(1<<i) != 0 {
+				s.Add(n)
+			}
+		}
+		if IsQuorum(s, qsets) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsIntact reports whether the candidate set I is intact given the system's
+// quorum sets: I is a quorum, every member's quorum set is satisfiable
+// within I alone (uniform non-faulty quorum), and every two members remain
+// intertwined even if every node outside I is faulty (paper §3.1).
+// Exponential; small networks only.
+func IsIntact(i NodeSet, qsets QuorumSets, all NodeSet) bool {
+	if !IsQuorum(i, qsets) {
+		return false
+	}
+	outside := all.Minus(i)
+	members := i.Sorted()
+	for x := 0; x < len(members); x++ {
+		for y := x; y < len(members); y++ {
+			if !Intertwined(members[x], members[y], qsets, outside) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaximalIntactSets enumerates the maximal intact sets of a small network
+// given a concretely faulty set of nodes: subsets of well-behaved nodes that
+// are intact when all other nodes (including the faulty ones) may be
+// Byzantine. The paper notes intact sets partition the well-behaved nodes
+// (§3.1); tests verify this property on generated topologies.
+func MaximalIntactSets(qsets QuorumSets, faulty NodeSet) []NodeSet {
+	all := make(NodeSet)
+	for id := range qsets {
+		all.Add(id)
+	}
+	wellBehaved := all.Minus(faulty).Sorted()
+	var intact []NodeSet
+	for mask := 1; mask < 1<<len(wellBehaved); mask++ {
+		s := make(NodeSet)
+		for i, n := range wellBehaved {
+			if mask&(1<<i) != 0 {
+				s.Add(n)
+			}
+		}
+		if IsIntact(s, qsets, all) {
+			intact = append(intact, s)
+		}
+	}
+	// Keep only maximal sets.
+	var out []NodeSet
+	for i, s := range intact {
+		maximal := true
+		for j, t := range intact {
+			if i != j && s.Subset(t) && !s.Equal(t) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	return dedupeSets(out)
+}
+
+// BlockedCascade computes the set of nodes that would eventually accept a
+// statement starting from the given accepting set, by repeatedly adding any
+// node for which the current set is v-blocking. This is the cascade of the
+// cascade theorem (paper §3.1.2, Fig 2) and is used by ballot
+// synchronization tests.
+func BlockedCascade(accepted NodeSet, qsets QuorumSets) NodeSet {
+	s := accepted.Copy()
+	for {
+		grew := false
+		for id, q := range qsets {
+			if !s.Has(id) && q.BlockedBy(s) {
+				s.Add(id)
+				grew = true
+			}
+		}
+		if !grew {
+			return s
+		}
+	}
+}

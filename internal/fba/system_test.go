@@ -1,0 +1,220 @@
+package fba
+
+import "testing"
+
+// fourNodeSymmetric builds a 4-node network where everyone requires a
+// simple majority (3 of 4) including themselves — the classic N=3f+1, f=1
+// configuration expressed as FBA.
+func fourNodeSymmetric() QuorumSets {
+	all := ids("n1", "n2", "n3", "n4")
+	qs := make(QuorumSets)
+	for _, id := range all {
+		q := Majority(all...)
+		qs[id] = &q
+	}
+	return qs
+}
+
+func TestIsQuorumSymmetric(t *testing.T) {
+	qs := fourNodeSymmetric()
+	if !IsQuorum(NewNodeSet("n1", "n2", "n3"), qs) {
+		t.Fatal("3 of 4 not a quorum")
+	}
+	if IsQuorum(NewNodeSet("n1", "n2"), qs) {
+		t.Fatal("2 of 4 is a quorum")
+	}
+	if IsQuorum(NewNodeSet(), qs) {
+		t.Fatal("empty set is a quorum")
+	}
+	if !IsQuorum(NewNodeSet("n1", "n2", "n3", "n4"), qs) {
+		t.Fatal("whole network not a quorum")
+	}
+}
+
+func TestIsQuorumUnknownMember(t *testing.T) {
+	qs := fourNodeSymmetric()
+	s := NewNodeSet("n1", "n2", "n3", "stranger")
+	if IsQuorum(s, qs) {
+		t.Fatal("set containing node with unknown qset accepted as quorum")
+	}
+}
+
+func TestMaxQuorumWithin(t *testing.T) {
+	qs := fourNodeSymmetric()
+	max := MaxQuorumWithin(NewNodeSet("n1", "n2", "n3", "n4"), qs)
+	if len(max) != 4 {
+		t.Fatalf("max quorum size %d, want 4", len(max))
+	}
+	// Remove two nodes: remaining two cannot form a quorum (need 3).
+	max = MaxQuorumWithin(NewNodeSet("n1", "n2"), qs)
+	if len(max) != 0 {
+		t.Fatalf("max quorum in 2 nodes = %s, want empty", max)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// Chain: a → b → c, c self-contained.
+	qs := QuorumSets{
+		"a": {Threshold: 2, Validators: ids("a", "b")},
+		"b": {Threshold: 2, Validators: ids("b", "c")},
+		"c": {Threshold: 1, Validators: ids("c")},
+	}
+	cl := TransitiveClosure("a", qs)
+	if !cl.Equal(NewNodeSet("a", "b", "c")) {
+		t.Fatalf("closure of a = %s", cl)
+	}
+	cl = TransitiveClosure("c", qs)
+	if !cl.Equal(NewNodeSet("c")) {
+		t.Fatalf("closure of c = %s", cl)
+	}
+}
+
+func TestIntertwinedSymmetric(t *testing.T) {
+	qs := fourNodeSymmetric()
+	// With one faulty node, any two of the others are intertwined:
+	// quorums have ≥3 members, so two quorums overlap in ≥2, at least one
+	// of which is non-faulty.
+	if !Intertwined("n1", "n2", qs, NewNodeSet("n4")) {
+		t.Fatal("n1,n2 not intertwined despite single fault")
+	}
+	// With two faulty nodes, overlap can be entirely faulty.
+	if Intertwined("n1", "n2", qs, NewNodeSet("n3", "n4")) {
+		t.Fatal("n1,n2 intertwined despite two faults in 3f+1=4")
+	}
+}
+
+func TestDisjointQuorumsNotIntertwined(t *testing.T) {
+	// Two separate cliques that don't reference each other.
+	qs := QuorumSets{
+		"a1": {Threshold: 2, Validators: ids("a1", "a2")},
+		"a2": {Threshold: 2, Validators: ids("a1", "a2")},
+		"b1": {Threshold: 2, Validators: ids("b1", "b2")},
+		"b2": {Threshold: 2, Validators: ids("b1", "b2")},
+	}
+	if Intertwined("a1", "b1", qs, NewNodeSet()) {
+		t.Fatal("nodes of disjoint cliques reported intertwined")
+	}
+	if !Intertwined("a1", "a2", qs, NewNodeSet()) {
+		t.Fatal("clique members not intertwined")
+	}
+}
+
+func TestIsIntactSymmetric(t *testing.T) {
+	qs := fourNodeSymmetric()
+	all := NewNodeSet("n1", "n2", "n3", "n4")
+	if !IsIntact(all, qs, all) {
+		t.Fatal("whole healthy network not intact")
+	}
+	// Any 3 nodes form a quorum, but if the 4th is faulty, two quorums of
+	// different members can overlap only in... actually with 3-of-4
+	// thresholds, quorums within the 3 remaining nodes must contain all 3
+	// (each needs 3 of 4 present), so they are intact.
+	if !IsIntact(NewNodeSet("n1", "n2", "n3"), qs, all) {
+		t.Fatal("3-node subset not intact despite tolerance f=1")
+	}
+	if IsIntact(NewNodeSet("n1", "n2"), qs, all) {
+		t.Fatal("2-node subset intact (cannot even form a quorum)")
+	}
+}
+
+func TestMaximalIntactSetsPartition(t *testing.T) {
+	qs := fourNodeSymmetric()
+	sets := MaximalIntactSets(qs, NewNodeSet())
+	if len(sets) != 1 {
+		t.Fatalf("healthy symmetric network has %d maximal intact sets, want 1", len(sets))
+	}
+	if len(sets[0]) != 4 {
+		t.Fatalf("maximal intact set size %d, want 4", len(sets[0]))
+	}
+}
+
+func TestMaximalIntactSetsWithFault(t *testing.T) {
+	qs := fourNodeSymmetric()
+	sets := MaximalIntactSets(qs, NewNodeSet("n4"))
+	if len(sets) != 1 {
+		t.Fatalf("got %d maximal intact sets, want 1", len(sets))
+	}
+	if !sets[0].Equal(NewNodeSet("n1", "n2", "n3")) {
+		t.Fatalf("intact set %s, want {n1, n2, n3}", sets[0])
+	}
+}
+
+func TestMaximalIntactSetsDisjointPartitions(t *testing.T) {
+	// The paper: "intact sets define a partition of the well-behaved
+	// nodes" — two disjoint cliques give two maximal intact sets.
+	qs := QuorumSets{
+		"a1": {Threshold: 2, Validators: ids("a1", "a2")},
+		"a2": {Threshold: 2, Validators: ids("a1", "a2")},
+		"b1": {Threshold: 2, Validators: ids("b1", "b2")},
+		"b2": {Threshold: 2, Validators: ids("b1", "b2")},
+	}
+	sets := MaximalIntactSets(qs, NewNodeSet())
+	if len(sets) != 2 {
+		t.Fatalf("got %d maximal intact sets, want 2", len(sets))
+	}
+	for i, s := range sets {
+		for j, u := range sets {
+			if i != j && s.Intersects(u) {
+				t.Fatal("maximal intact sets overlap")
+			}
+		}
+	}
+}
+
+// TestFigure2Cascade reproduces the network of paper Figure 2 exactly and
+// verifies the cascade: after nodes 1–4 accept X, the v-blocking relation
+// pulls in node 5, then nodes 6 and 7.
+func TestFigure2Cascade(t *testing.T) {
+	// Figure 2 slices (each node has one slice, drawn as arrows):
+	//   1: {1,2,3,4}   2: {1,2,3,4}  3: {1,2,3,4}  4: {1,2,3,4}
+	//   5: {1,5}  (set {1} is 5-blocking)
+	//   6: {5,6,7}  7: {5,6,7}  (set {5} is 6- and 7-blocking)
+	one := QuorumSet{Threshold: 4, Validators: ids("1", "2", "3", "4")}
+	five := QuorumSet{Threshold: 2, Validators: ids("1", "5")}
+	sixSeven := QuorumSet{Threshold: 3, Validators: ids("5", "6", "7")}
+	qs := QuorumSets{
+		"1": &one, "2": &one, "3": &one, "4": &one,
+		"5": &five,
+		"6": &sixSeven, "7": &sixSeven,
+	}
+
+	// Step (c): {1,2,3,4} is a quorum, so 1 accepts X.
+	if !IsQuorum(NewNodeSet("1", "2", "3", "4"), qs) {
+		t.Fatal("{1,2,3,4} should be a quorum")
+	}
+	// Step (d): {1} is 5-blocking.
+	if !five.BlockedBy(NewNodeSet("1")) {
+		t.Fatal("{1} should be 5-blocking")
+	}
+	// Step (e): {5} is 6- and 7-blocking.
+	if !sixSeven.BlockedBy(NewNodeSet("5")) {
+		t.Fatal("{5} should be 6/7-blocking")
+	}
+	// Full cascade from the initial accepting quorum.
+	final := BlockedCascade(NewNodeSet("1", "2", "3", "4"), qs)
+	want := NewNodeSet("1", "2", "3", "4", "5", "6", "7")
+	if !final.Equal(want) {
+		t.Fatalf("cascade reached %s, want %s", final, want)
+	}
+}
+
+// TestCascadeTheorem spot-checks the cascade theorem (§3.1.2): for an
+// intact set I and a quorum Q of a member, expanding Q by v-blocked nodes
+// eventually covers all of I.
+func TestCascadeTheorem(t *testing.T) {
+	qs := fourNodeSymmetric()
+	q := NewNodeSet("n1", "n2", "n3") // a quorum
+	final := BlockedCascade(q, qs)
+	if !final.Equal(NewNodeSet("n1", "n2", "n3", "n4")) {
+		t.Fatalf("cascade did not cover intact set: %s", final)
+	}
+}
+
+func TestBlockedCascadeNoGrowthFromNonBlocking(t *testing.T) {
+	qs := fourNodeSymmetric()
+	s := NewNodeSet("n1") // not blocking for anyone (3-of-4 needs 2 blocked)
+	final := BlockedCascade(s, qs)
+	if !final.Equal(s) {
+		t.Fatalf("cascade grew from non-blocking seed: %s", final)
+	}
+}

@@ -1,0 +1,125 @@
+package herder
+
+import (
+	"time"
+
+	"stellar/internal/ledger"
+	"stellar/internal/overlay"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+)
+
+// Peer catch-up: the §6 post-mortem's corrective action — "once a
+// validator moved to the next ledger, it didn't adequately help remaining
+// nodes complete the previous ledger". Validators keep a window of
+// recently closed ledgers (consensus value + transaction set) and serve
+// them point-to-point to lagging peers, who replay them and verify the
+// result against their own SCP-decided values (the hash chain makes forged
+// history unappliable: a wrong intermediate ledger changes every later
+// header hash, so the SCP-decided transaction set's PrevLedgerHash would
+// no longer match and the replay stalls instead of diverging).
+
+// recentWindow is how many closed ledgers a validator keeps for peers.
+const recentWindow = 128
+
+// recentLedger is one entry of the serving window.
+type recentLedger struct {
+	value scp.Value // encoded StellarValue that closed the slot
+	txset *ledger.TxSet
+}
+
+// handleCatchup processes point-to-point catch-up traffic.
+func (n *Node) handleCatchup(from simnet.Addr, p *overlay.Packet) {
+	switch p.Kind {
+	case overlay.KindCatchupReq:
+		n.serveCatchup(from, p.CatchupFrom)
+	case overlay.KindCatchupResp:
+		n.applyCatchup(p.CatchupItems)
+	}
+}
+
+// serveCatchup replies with up to recentWindow ledgers starting at `from`.
+func (n *Node) serveCatchup(peer simnet.Addr, from uint32) {
+	if n.state == nil {
+		return
+	}
+	var items []overlay.CatchupItem
+	for seq := from; seq <= n.last.LedgerSeq; seq++ {
+		rc, ok := n.recent[seq]
+		if !ok {
+			// Too old for our window; the peer needs an archive.
+			items = nil
+			break
+		}
+		items = append(items, overlay.CatchupItem{
+			Slot:  uint64(seq),
+			Value: rc.value,
+			TxSet: rc.txset,
+		})
+	}
+	if len(items) == 0 {
+		return
+	}
+	n.ov.SendDirect(peer, &overlay.Packet{Kind: overlay.KindCatchupResp, CatchupItems: items})
+}
+
+// applyCatchup replays served ledgers in order. Each item's value is
+// decoded and applied exactly like an SCP decision; the usual
+// tryApplyDecided machinery enforces sequencing and tx set presence.
+func (n *Node) applyCatchup(items []overlay.CatchupItem) {
+	if n.state == nil {
+		return
+	}
+	for _, it := range items {
+		if it.Slot <= uint64(n.last.LedgerSeq) || it.TxSet == nil {
+			continue
+		}
+		sv, err := DecodeValue(it.Value)
+		if err != nil {
+			return // corrupt response; drop the rest
+		}
+		h := it.TxSet.Hash(n.cfg.NetworkID)
+		n.txsets[h] = it.TxSet
+		n.txsetSeen[h] = n.last.LedgerSeq
+		if _, decidedAlready := n.decided[it.Slot]; !decidedAlready {
+			n.decided[it.Slot] = sv
+		}
+	}
+	n.tryApplyDecided()
+}
+
+// maybeRequestCatchup fires a catch-up request when we hold a decision for
+// a slot we cannot reach sequentially (we missed intermediate ledgers).
+// Rate-limited so a stuck node asks roughly once per ledger interval.
+func (n *Node) maybeRequestCatchup() {
+	if n.state == nil || len(n.ov.Peers()) == 0 {
+		return
+	}
+	next := uint64(n.last.LedgerSeq) + 1
+	behind := false
+	for slot := range n.decided {
+		if slot > next {
+			behind = true
+			break
+		}
+	}
+	if _, haveNext := n.decided[next]; haveNext {
+		// We have the decision but maybe not its tx set; a catch-up
+		// response supplies both.
+		behind = true
+	}
+	if !behind {
+		return
+	}
+	now := n.net.Now()
+	if n.lastCatchupReq != 0 && now-n.lastCatchupReq < n.cfg.LedgerInterval {
+		return
+	}
+	n.lastCatchupReq = now
+	peers := n.ov.Peers()
+	peer := peers[int(now/time.Millisecond)%len(peers)]
+	n.ov.SendDirect(peer, &overlay.Packet{
+		Kind:        overlay.KindCatchupReq,
+		CatchupFrom: n.last.LedgerSeq + 1,
+	})
+}

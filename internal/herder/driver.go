@@ -1,0 +1,179 @@
+package herder
+
+import (
+	"time"
+
+	"stellar/internal/scp"
+	"stellar/internal/stellarcrypto"
+)
+
+// driver adapts a herder Node to the scp.Driver and scp.MetricsDriver
+// interfaces. It is the same object as the Node (a type conversion), so
+// SCP callbacks run synchronously in the node's event context.
+type driver Node
+
+var (
+	_ scp.Driver        = (*driver)(nil)
+	_ scp.MetricsDriver = (*driver)(nil)
+)
+
+func (d *driver) node() *Node { return (*Node)(d) }
+
+// ValidateValue implements the §5.3 validity rules for StellarValues.
+func (d *driver) ValidateValue(slot uint64, raw scp.Value) scp.ValidationLevel {
+	n := d.node()
+	sv, err := DecodeValue(raw)
+	if err != nil {
+		return scp.ValueInvalid
+	}
+	if n.state == nil || n.last == nil {
+		return scp.ValueMaybeValid
+	}
+	// Close time must move strictly forward (§5.3) and not sit in the
+	// future beyond clock tolerance.
+	if sv.CloseTime <= n.last.CloseTime && slot == uint64(n.last.LedgerSeq)+1 {
+		return scp.ValueInvalid
+	}
+	now := int64(n.net.Now() / time.Second)
+	fullyValid := sv.CloseTime <= now+10
+
+	// Upgrades: invalid upgrades poison the value; valid-but-undesired
+	// ones make it merely acceptable for a governing node (§5.3).
+	for _, u := range sv.Upgrades {
+		switch ClassifyUpgrade(u, n.cfg.DesiredUpgrades) {
+		case UpgradeInvalid:
+			return scp.ValueInvalid
+		case UpgradeValid:
+			if n.cfg.Governing {
+				fullyValid = false
+			}
+		}
+	}
+
+	if slot != uint64(n.last.LedgerSeq)+1 {
+		// We cannot fully judge values for ledgers we have not reached.
+		return scp.ValueMaybeValid
+	}
+	ts, known := n.txsets[sv.TxSetHash]
+	if !known {
+		// The tx set may still be in flight; acceptable but not votable.
+		return scp.ValueMaybeValid
+	}
+	if ts.PrevLedgerHash != n.last.Hash() {
+		return scp.ValueInvalid
+	}
+	if !fullyValid {
+		return scp.ValueMaybeValid
+	}
+	return scp.ValueFullyValid
+}
+
+// CombineCandidates implements the §5.3 composition rule.
+func (d *driver) CombineCandidates(slot uint64, candidates []scp.Value) scp.Value {
+	n := d.node()
+	svs := make([]*StellarValue, 0, len(candidates))
+	for _, c := range candidates {
+		if sv, err := DecodeValue(c); err == nil {
+			svs = append(svs, sv)
+		}
+	}
+	if len(svs) == 0 {
+		return nil
+	}
+	combined := CombineValues(svs, func(h stellarcrypto.Hash) (int, int64, bool) {
+		ts, ok := n.txsets[h]
+		if !ok {
+			return 0, 0, false
+		}
+		return ts.NumOperations(), int64(ts.TotalFees()), true
+	})
+	if combined.TxSetHash.Zero() {
+		// No candidate's tx set is known locally; fall back to the first
+		// candidate's hash so the composite stays applicable elsewhere.
+		combined.TxSetHash = svs[0].TxSetHash
+	}
+	return combined.Encode()
+}
+
+// EmitEnvelope floods the envelope and counts it (§7.2's messages/ledger).
+func (d *driver) EmitEnvelope(env *scp.Envelope) {
+	n := d.node()
+	n.stat(env.Slot).emitted++
+	n.ov.BroadcastEnvelope(env)
+}
+
+// SignEnvelope signs with the validator key.
+func (d *driver) SignEnvelope(env *scp.Envelope) {
+	env.Signature = d.node().cfg.Keys.Secret.Sign(env.SigningPayload())
+}
+
+// VerifyEnvelope checks the sender's signature; the node ID is the public
+// key address, so no registry is needed.
+func (d *driver) VerifyEnvelope(env *scp.Envelope) bool {
+	pk, err := envelopeKey(env)
+	if err != nil {
+		return false
+	}
+	return pk.Verify(env.SigningPayload(), env.Signature)
+}
+
+// SetTimer (re)arms a per-slot timer on the simulated clock.
+func (d *driver) SetTimer(slot uint64, kind scp.TimerKind, delay time.Duration, cb func()) {
+	n := d.node()
+	key := timerKey{slot, kind}
+	if t := n.timers[key]; t != nil {
+		t.Cancel()
+	}
+	if cb == nil {
+		delete(n.timers, key)
+		return
+	}
+	n.timers[key] = n.net.After(n.addr, delay, cb)
+}
+
+// NominationTimeout returns the configured or default policy.
+func (d *driver) NominationTimeout(round int) time.Duration {
+	if f := d.node().cfg.NominationTimeout; f != nil {
+		return f(round)
+	}
+	return scp.DefaultNominationTimeout(round)
+}
+
+// BallotTimeout returns the configured or default policy.
+func (d *driver) BallotTimeout(counter uint32) time.Duration {
+	if f := d.node().cfg.BallotTimeout; f != nil {
+		return f(counter)
+	}
+	return scp.DefaultBallotTimeout(counter)
+}
+
+// ValueExternalized hands the decision to the herder.
+func (d *driver) ValueExternalized(slot uint64, v scp.Value) {
+	d.node().onExternalized(slot, v)
+}
+
+// StartedBallot records the first prepare for nomination latency (§7.3).
+func (d *driver) StartedBallot(slot uint64, b scp.Ballot) {
+	n := d.node()
+	st := n.stat(slot)
+	if !st.sawPrepare {
+		st.sawPrepare = true
+		st.firstPrepareAt = n.net.Now()
+	}
+}
+
+// AcceptedCommit is unused today but part of the metrics surface.
+func (d *driver) AcceptedCommit(slot uint64, b scp.Ballot) {}
+
+// Timeout counts nomination and ballot timer expiries (Fig 8).
+func (d *driver) Timeout(slot uint64, kind scp.TimerKind) {
+	st := d.node().stat(slot)
+	if kind == scp.TimerNomination {
+		st.nomTimeouts++
+	} else {
+		st.ballotTimeouts++
+	}
+}
+
+// NominationConfirmed is informational.
+func (d *driver) NominationConfirmed(slot uint64) {}

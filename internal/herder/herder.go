@@ -1,0 +1,565 @@
+package herder
+
+import (
+	"fmt"
+	"time"
+
+	"stellar/internal/bucket"
+	"stellar/internal/fba"
+	"stellar/internal/history"
+	"stellar/internal/ledger"
+	"stellar/internal/metrics"
+	"stellar/internal/overlay"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// Config parameterizes a validator node.
+type Config struct {
+	// Keys identifies the validator; its NodeID is the key's address.
+	Keys stellarcrypto.KeyPair
+	// QSet is the validator's quorum slices configuration.
+	QSet fba.QuorumSet
+	// NetworkID separates independent networks.
+	NetworkID stellarcrypto.Hash
+	// LedgerInterval is the target close cadence; Stellar runs SCP at
+	// 5-second intervals (§1).
+	LedgerInterval time.Duration
+	// NominationTimeout and BallotTimeout override the SCP timer
+	// policies; nil selects the stellar-core-style linear defaults.
+	NominationTimeout func(round int) time.Duration
+	BallotTimeout     func(counter uint32) time.Duration
+	// MaxTxSetSize caps operations per ledger (surge pricing above it).
+	MaxTxSetSize int
+	// Archive, when set, receives headers, tx sets, and bucket
+	// snapshots (§5.4). Validators typically do NOT host archives, so it
+	// is optional.
+	Archive *history.Archive
+	// Governing marks the validator as participating in upgrade
+	// governance; DesiredUpgrades are the upgrades it votes for (§5.3).
+	Governing       bool
+	DesiredUpgrades []Upgrade
+	// OverlayCacheSize tunes flood dedup (0 = default).
+	OverlayCacheSize int
+	// Multicast selects the §7.5 structured-multicast extension instead
+	// of flooding; requires SetMembers on the overlay after wiring.
+	Multicast bool
+}
+
+// Node is one Stellar validator: SCP consensus plus the replicated ledger
+// state machine.
+type Node struct {
+	cfg  Config
+	id   fba.NodeID
+	addr simnet.Addr
+	net  *simnet.Network
+	ov   *overlay.Overlay
+	scp  *scp.Node
+
+	state   *ledger.State
+	buckets *bucket.List
+	headers map[uint32]stellarcrypto.Hash // seq → header hash (skiplist source)
+	last    *ledger.Header
+
+	pending map[stellarcrypto.Hash]*ledger.Transaction
+	txsets  map[stellarcrypto.Hash]*ledger.TxSet
+	// txsetSeen records the ledger at which each tx set was learned, for
+	// age-based pruning (a set proposed for a future slot must survive
+	// the close of the current one).
+	txsetSeen map[stellarcrypto.Hash]uint32
+
+	// recent serves peer catch-up (catchup.go).
+	recent         map[uint32]recentLedger
+	lastCatchupReq time.Duration
+
+	// decided buffers externalized values for slots we cannot apply yet
+	// (missing tx set or missing predecessor ledgers).
+	decided map[uint64]*StellarValue
+
+	timers    map[timerKey]*simnet.Timer
+	trigTimer *simnet.Timer
+	nextSlot  uint64
+	triggered map[uint64]bool
+
+	// Per-slot instrumentation.
+	Metrics      *metrics.NodeMetrics
+	slotStats    map[uint64]*slotStat
+	upgradeStats map[UpgradeKind]int64
+
+	// OnLedgerClose, when set, is invoked after each ledger applies.
+	OnLedgerClose func(h *ledger.Header, results []ledger.TxResult)
+}
+
+type timerKey struct {
+	slot uint64
+	kind scp.TimerKind
+}
+
+type slotStat struct {
+	nominateAt     time.Duration // virtual time nomination started
+	firstPrepareAt time.Duration
+	sawPrepare     bool
+	nomTimeouts    int
+	ballotTimeouts int
+	emitted        int
+}
+
+// New creates a validator attached to the simulated network. The genesis
+// state must be installed with Bootstrap or CatchUp before Start.
+func New(net *simnet.Network, cfg Config) (*Node, error) {
+	if cfg.LedgerInterval <= 0 {
+		cfg.LedgerInterval = 5 * time.Second
+	}
+	if cfg.MaxTxSetSize <= 0 {
+		cfg.MaxTxSetSize = ledger.DefaultMaxTxSetSize
+	}
+	id := fba.NodeIDFromPublicKey(cfg.Keys.Public)
+	n := &Node{
+		cfg:          cfg,
+		id:           id,
+		addr:         simnet.Addr(id),
+		net:          net,
+		headers:      make(map[uint32]stellarcrypto.Hash),
+		pending:      make(map[stellarcrypto.Hash]*ledger.Transaction),
+		txsets:       make(map[stellarcrypto.Hash]*ledger.TxSet),
+		txsetSeen:    make(map[stellarcrypto.Hash]uint32),
+		recent:       make(map[uint32]recentLedger),
+		decided:      make(map[uint64]*StellarValue),
+		timers:       make(map[timerKey]*simnet.Timer),
+		triggered:    make(map[uint64]bool),
+		Metrics:      &metrics.NodeMetrics{},
+		slotStats:    make(map[uint64]*slotStat),
+		upgradeStats: make(map[UpgradeKind]int64),
+	}
+	n.ov = overlay.New(net, n.addr, cfg.NetworkID, cfg.OverlayCacheSize)
+	if cfg.Multicast {
+		n.ov.SetMode(overlay.ModeTree)
+	}
+	n.ov.OnEnvelope = n.onEnvelope
+	n.ov.OnTx = n.onTx
+	n.ov.OnTxSet = n.onTxSet
+	n.ov.OnCatchup = n.handleCatchup
+	scpNode, err := scp.NewNode(id, cfg.QSet, cfg.NetworkID, (*driver)(n))
+	if err != nil {
+		return nil, err
+	}
+	n.scp = scpNode
+	net.AddNode(n.addr, simnet.HandlerFunc(n.ov.HandleMessage))
+	return n, nil
+}
+
+// ID returns the validator's node ID (its public key address).
+func (n *Node) ID() fba.NodeID { return n.id }
+
+// Addr returns the validator's network address.
+func (n *Node) Addr() simnet.Addr { return n.addr }
+
+// Overlay exposes the overlay endpoint (topology wiring, counters).
+func (n *Node) Overlay() *overlay.Overlay { return n.ov }
+
+// State exposes the ledger state (read-mostly; the horizon layer reads it).
+func (n *Node) State() *ledger.State { return n.state }
+
+// LastHeader returns the latest closed ledger header.
+func (n *Node) LastHeader() *ledger.Header { return n.last }
+
+// HeaderHash returns the hash of the header closed at seq, if known.
+func (n *Node) HeaderHash(seq uint32) (stellarcrypto.Hash, bool) {
+	h, ok := n.headers[seq]
+	return h, ok
+}
+
+// SCP exposes the consensus node for analysis (quorum sets, slots).
+func (n *Node) SCP() *scp.Node { return n.scp }
+
+// Bootstrap installs a genesis ledger built from the given state. All
+// validators of a network must bootstrap from identical genesis state.
+func (n *Node) Bootstrap(genesis *ledger.State, closeTime int64) {
+	n.state = genesis
+	n.buckets = bucket.NewList()
+	n.buckets.AddBatch(1, genesis.SnapshotAll())
+	genesis.TakeDirtySnapshot() // genesis entries are already in the list
+	hdr := ledger.GenesisHeader(genesis, closeTime)
+	hdr.SnapshotHash = n.buckets.Hash()
+	n.last = hdr
+	n.headers[hdr.LedgerSeq] = hdr.Hash()
+	n.nextSlot = uint64(hdr.LedgerSeq) + 1
+}
+
+// Start begins the ledger trigger cadence; call after Bootstrap.
+func (n *Node) Start() {
+	n.scheduleTrigger(n.cfg.LedgerInterval)
+}
+
+// scheduleTrigger (re)arms the ledger cadence timer. A single handle with
+// cancel-replace semantics keeps exactly one trigger chain alive; it is
+// re-anchored at every ledger apply, which revives the cadence after a
+// crash (the simulator consumes timers that fire while a node is down).
+func (n *Node) scheduleTrigger(d time.Duration) {
+	if n.trigTimer != nil {
+		n.trigTimer.Cancel()
+	}
+	n.trigTimer = n.net.After(n.addr, d, n.triggerNextLedger)
+}
+
+// SubmitTx accepts a transaction from a client (or a peer's flood): it
+// enters the pending pool and is flooded onward.
+func (n *Node) SubmitTx(tx *ledger.Transaction) error {
+	if n.state == nil {
+		return fmt.Errorf("herder: node not bootstrapped")
+	}
+	h := tx.Hash(n.cfg.NetworkID)
+	if _, dup := n.pending[h]; dup {
+		return nil
+	}
+	// Cheap pre-checks; full validity is re-checked at apply time.
+	if len(tx.Operations) == 0 || tx.Fee < n.state.MinFee(tx) {
+		return fmt.Errorf("herder: transaction fails basic checks")
+	}
+	n.pending[h] = tx
+	n.ov.BroadcastTx(tx)
+	return nil
+}
+
+// PendingCount reports the transaction pool size.
+func (n *Node) PendingCount() int { return len(n.pending) }
+
+// KnownTxSets reports how many transaction sets the node holds (debugging).
+func (n *Node) KnownTxSets() int { return len(n.txsets) }
+
+func (n *Node) onTx(tx *ledger.Transaction) {
+	if n.state == nil {
+		return
+	}
+	h := tx.Hash(n.cfg.NetworkID)
+	if _, dup := n.pending[h]; !dup {
+		n.pending[h] = tx
+	}
+}
+
+func (n *Node) onTxSet(ts *ledger.TxSet) {
+	h := ts.Hash(n.cfg.NetworkID)
+	if n.last != nil {
+		n.txsetSeen[h] = n.last.LedgerSeq
+	}
+	if _, dup := n.txsets[h]; !dup {
+		n.txsets[h] = ts
+		// A value referencing this set may have been merely MaybeValid;
+		// let nomination re-echo it now that we can judge it (§5.3).
+		if n.last != nil {
+			n.scp.RetryEcho(uint64(n.last.LedgerSeq) + 1)
+		}
+	}
+	// A buffered decision may now be applicable.
+	n.tryApplyDecided()
+}
+
+func (n *Node) onEnvelope(env *scp.Envelope) {
+	if n.state == nil {
+		return
+	}
+	// Ignore slots already closed; stale envelopes cannot help.
+	if env.Slot <= uint64(n.last.LedgerSeq) {
+		return
+	}
+	_ = n.scp.Receive(env)
+}
+
+// triggerNextLedger builds a transaction candidate set and starts
+// nomination for the next slot (§5.3).
+func (n *Node) triggerNextLedger() {
+	if n.state == nil {
+		return
+	}
+	slot := uint64(n.last.LedgerSeq) + 1
+	if n.triggered[slot] {
+		// Consensus for this slot is still running; check back shortly.
+		n.scheduleTrigger(n.cfg.LedgerInterval / 5)
+		return
+	}
+	n.triggered[slot] = true
+
+	// Build the candidate transaction set from the pending pool.
+	closeTime := n.proposedCloseTime()
+	var candidates []*ledger.Transaction
+	for _, tx := range n.pending {
+		if err := n.state.CheckValid(tx, n.cfg.NetworkID, closeTime); err == nil {
+			candidates = append(candidates, tx)
+		}
+	}
+	candidates = ledger.SurgePrice(candidates, n.cfg.MaxTxSetSize)
+	ts := &ledger.TxSet{PrevLedgerHash: n.last.Hash(), Txs: candidates}
+	tsHash := ts.Hash(n.cfg.NetworkID)
+	n.txsets[tsHash] = ts
+	n.txsetSeen[tsHash] = n.last.LedgerSeq
+	n.ov.BroadcastTxSet(ts)
+
+	sv := &StellarValue{TxSetHash: tsHash, CloseTime: closeTime}
+	if n.cfg.Governing {
+		sv.Upgrades = append(sv.Upgrades, n.cfg.DesiredUpgrades...)
+	}
+	stat := n.stat(slot)
+	stat.nominateAt = n.net.Now()
+	n.scp.Nominate(slot, sv.Encode())
+	// Schedule the next cadence tick regardless; if consensus is slow the
+	// tick re-checks.
+	n.scheduleTrigger(n.cfg.LedgerInterval)
+}
+
+// proposedCloseTime picks a close time strictly after the last ledger's.
+func (n *Node) proposedCloseTime() int64 {
+	now := int64(n.net.Now() / time.Second)
+	if now <= n.last.CloseTime {
+		return n.last.CloseTime + 1
+	}
+	return now
+}
+
+func (n *Node) stat(slot uint64) *slotStat {
+	s, ok := n.slotStats[slot]
+	if !ok {
+		s = &slotStat{}
+		n.slotStats[slot] = s
+	}
+	return s
+}
+
+// onExternalized handles a slot decision from SCP.
+func (n *Node) onExternalized(slot uint64, raw scp.Value) {
+	sv, err := DecodeValue(raw)
+	if err != nil {
+		// A quorum decided an undecodable value: unrecoverable.
+		panic(fmt.Sprintf("herder: externalized garbage for slot %d: %v", slot, err))
+	}
+	n.decided[slot] = sv
+	// Defer application so it runs outside SCP's call stack.
+	n.net.Defer(n.tryApplyDecided)
+}
+
+// tryApplyDecided applies buffered decisions in order while possible;
+// when blocked on missing predecessors or tx sets it requests peer
+// catch-up (catchup.go).
+func (n *Node) tryApplyDecided() {
+	for {
+		if n.state == nil {
+			return
+		}
+		slot := uint64(n.last.LedgerSeq) + 1
+		sv, ok := n.decided[slot]
+		if !ok {
+			if len(n.decided) > 0 {
+				n.maybeRequestCatchup()
+			}
+			return
+		}
+		ts, ok := n.txsets[sv.TxSetHash]
+		if !ok {
+			n.maybeRequestCatchup()
+			return // wait for the tx set flood or catch-up to arrive
+		}
+		n.applyLedger(slot, sv, ts)
+	}
+}
+
+// applyLedger closes one ledger: applies the transaction set and upgrades,
+// updates the bucket list, chains the header, and archives (§5.1–§5.4).
+func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
+	applyStart := time.Now() // real time: ledger update is real compute
+
+	env := &ledger.ApplyEnv{LedgerSeq: uint32(slot), CloseTime: sv.CloseTime}
+	results, resultsHash := n.state.ApplyTxSet(ts, n.cfg.NetworkID, env)
+
+	// Apply upgrades (§5.3).
+	for _, u := range sv.Upgrades {
+		n.applyUpgrade(u)
+	}
+
+	// Update the bucket list with the entries this ledger changed.
+	changed := n.state.TakeDirtySnapshot()
+	n.buckets.AddBatch(uint32(slot), changed)
+
+	hdr := ledger.NextHeader(n.last, n.last.Hash())
+	hdr.SCPValueHash = stellarcrypto.HashBytes(sv.Encode())
+	hdr.TxSetHash = sv.TxSetHash
+	hdr.ResultsHash = resultsHash
+	hdr.SnapshotHash = n.buckets.Hash()
+	hdr.CloseTime = sv.CloseTime
+	hdr.BaseFee = n.state.BaseFee
+	hdr.BaseReserve = n.state.BaseReserve
+	hdr.MaxTxSetSize = n.state.MaxTxSetSize
+	hdr.ProtocolVersion = n.state.ProtocolVersion
+	hdr.FeePool = n.state.FeePool
+
+	// Metrics: close interval, ledger update time, tx count, per-slot
+	// consensus latencies (§7.3's three measured phases).
+	n.Metrics.LedgerUpdate.Add(time.Since(applyStart))
+	n.Metrics.TxPerLedger.Add(len(ts.Txs))
+	prevClose := n.last.CloseTime
+	n.Metrics.CloseInterval.Add(time.Duration(hdr.CloseTime-prevClose) * time.Second)
+	if st, ok := n.slotStats[slot]; ok {
+		if st.sawPrepare {
+			if st.nominateAt > 0 {
+				n.Metrics.Nomination.Add(st.firstPrepareAt - st.nominateAt)
+			}
+			n.Metrics.Balloting.Add(n.net.Now() - st.firstPrepareAt)
+		}
+		n.Metrics.NominationTimeouts.Add(st.nomTimeouts)
+		n.Metrics.BallotTimeouts.Add(st.ballotTimeouts)
+		n.Metrics.MessagesEmitted.Add(st.emitted)
+		delete(n.slotStats, slot)
+	}
+
+	n.last = hdr
+	n.headers[hdr.LedgerSeq] = hdr.Hash()
+	delete(n.decided, slot)
+	delete(n.triggered, slot)
+
+	// Keep a window of closed ledgers for lagging peers (catchup.go).
+	n.recent[hdr.LedgerSeq] = recentLedger{value: sv.Encode(), txset: ts}
+	if hdr.LedgerSeq > recentWindow {
+		delete(n.recent, hdr.LedgerSeq-recentWindow)
+	}
+
+	// Drop applied/stale transactions from the pool.
+	for h, tx := range n.pending {
+		if acct := n.state.Account(tx.Source); acct == nil || tx.SeqNum <= acct.SeqNum {
+			delete(n.pending, h)
+		}
+	}
+
+	// Prune tx sets by age: drop sets not seen within the last few
+	// ledgers, always keeping any referenced by a buffered decision.
+	// (Pruning must not discard next-slot proposals that arrived before
+	// this close: the overlay dedup would suppress their re-floods and
+	// the referencing values could never become votable.)
+	needed := make(map[stellarcrypto.Hash]bool, len(n.decided))
+	for _, dv := range n.decided {
+		needed[dv.TxSetHash] = true
+	}
+	for h2 := range n.txsets {
+		if needed[h2] {
+			continue
+		}
+		if seen, ok := n.txsetSeen[h2]; !ok || seen+3 < hdr.LedgerSeq {
+			delete(n.txsets, h2)
+			delete(n.txsetSeen, h2)
+		}
+	}
+
+	// Archive (§5.4).
+	if n.cfg.Archive != nil {
+		n.archiveLedger(hdr, ts)
+	}
+
+	// Garbage-collect consensus state for closed slots.
+	n.scp.PurgeBelow(slot)
+
+	// Re-anchor the ledger cadence on this close; this also revives the
+	// trigger chain after a crash killed its pending timer.
+	n.scheduleTrigger(n.cfg.LedgerInterval)
+
+	if n.OnLedgerClose != nil {
+		n.OnLedgerClose(hdr, results)
+	}
+}
+
+func (n *Node) applyUpgrade(u Upgrade) {
+	if ClassifyUpgrade(u, n.cfg.DesiredUpgrades) == UpgradeInvalid {
+		return // consensus should never externalize these; be defensive
+	}
+	n.upgradeStats[u.Kind] = u.Value
+	switch u.Kind {
+	case UpgradeBaseFee:
+		n.state.BaseFee = u.Value
+	case UpgradeBaseReserve:
+		n.state.BaseReserve = u.Value
+	case UpgradeMaxTxSetSize:
+		n.state.MaxTxSetSize = int(u.Value)
+	case UpgradeProtocolVersion:
+		n.state.ProtocolVersion = uint32(u.Value)
+	}
+}
+
+func (n *Node) archiveLedger(hdr *ledger.Header, ts *ledger.TxSet) {
+	a := n.cfg.Archive
+	if err := a.PutHeader(hdr); err != nil {
+		return
+	}
+	if err := a.PutTxSet(hdr.LedgerSeq, ts); err != nil {
+		return
+	}
+	hashes := n.buckets.BucketHashes()
+	for i, h := range hashes {
+		if h == bucket.EmptyBucket().Hash() {
+			continue
+		}
+		b, err := n.buckets.Bucket(i/2, i%2 == 1)
+		if err == nil {
+			_ = a.PutBucket(b)
+		}
+	}
+	_ = a.PutCheckpoint(&history.Checkpoint{
+		LedgerSeq:    hdr.LedgerSeq,
+		HeaderHash:   hdr.Hash(),
+		BucketHashes: hashes,
+	})
+}
+
+// CatchUp bootstraps or fast-forwards the node from an archive's latest
+// checkpoint (§5.4: "The archive lets new nodes bootstrap themselves").
+func (n *Node) CatchUp(a *history.Archive) error {
+	cp, err := a.LatestCheckpoint()
+	if err != nil {
+		return fmt.Errorf("herder: catch up: %w", err)
+	}
+	if n.last != nil && uint32(cp.LedgerSeq) <= n.last.LedgerSeq {
+		return nil // already current
+	}
+	hdr, err := a.GetHeader(cp.LedgerSeq)
+	if err != nil {
+		return err
+	}
+	buckets, err := a.RestoreBucketList(cp)
+	if err != nil {
+		return err
+	}
+	if buckets.Hash() != hdr.SnapshotHash {
+		return fmt.Errorf("herder: archive snapshot hash mismatch")
+	}
+	state, err := ledger.RestoreState(buckets.AllLive(), hdr)
+	if err != nil {
+		return err
+	}
+	n.state = state
+	n.buckets = buckets
+	n.last = hdr
+	n.headers[hdr.LedgerSeq] = hdr.Hash()
+	n.nextSlot = uint64(hdr.LedgerSeq) + 1
+	// Any buffered later decisions may now apply.
+	n.tryApplyDecided()
+	return nil
+}
+
+// RebroadcastLatest re-floods the node's newest SCP envelopes for live
+// slots — the anti-entropy that lets crashed peers catch up (the §6
+// lesson: keep helping peers finish previous ledgers).
+func (n *Node) RebroadcastLatest() {
+	if n.state == nil {
+		return
+	}
+	for _, idx := range n.scp.SlotIndices() {
+		for _, env := range n.scp.Slot(idx).LatestEnvelopes() {
+			n.ov.BroadcastEnvelope(env)
+		}
+	}
+	// Also re-flood known tx sets for open slots so laggards can apply.
+	for h, ts := range n.txsets {
+		_ = h
+		n.ov.BroadcastTxSet(ts)
+	}
+}
+
+// UpgradeValue reports the last externalized value for an upgrade kind (0
+// if never upgraded), for governance tests.
+func (n *Node) UpgradeValue(k UpgradeKind) int64 { return n.upgradeStats[k] }

@@ -1,0 +1,23 @@
+package herder
+
+import (
+	"stellar/internal/ledger"
+	"stellar/internal/scp"
+	"stellar/internal/stellarcrypto"
+)
+
+// envelopeKey recovers the signing key from the envelope's node ID, which
+// is the validator's public key address.
+func envelopeKey(env *scp.Envelope) (stellarcrypto.PublicKey, error) {
+	return stellarcrypto.PublicKeyFromAddress(string(env.Node))
+}
+
+// GenesisState builds the canonical genesis ledger used by networks in
+// this reproduction: the full XLM supply held by a master account derived
+// from the network ID, so all validators of a network agree on genesis
+// without further coordination.
+func GenesisState(networkID stellarcrypto.Hash) (*ledger.State, stellarcrypto.KeyPair) {
+	kp := stellarcrypto.KeyPairFromSeed(stellarcrypto.HashConcat(networkID[:], []byte("genesis-master")))
+	master := ledger.AccountIDFromPublicKey(kp.Public)
+	return ledger.NewGenesisState(master), kp
+}

@@ -1,0 +1,191 @@
+// Package herder implements Stellar's replicated state machine on top of
+// SCP (paper §5): it collects transactions into candidate sets, drives one
+// SCP consensus round per ledger at the 5-second cadence (§5.3), applies
+// externalized transaction sets to the ledger, maintains the bucket list
+// and history archive, and implements the upgrade governance tussle space.
+package herder
+
+import (
+	"fmt"
+	"sort"
+
+	"stellar/internal/scp"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// UpgradeKind identifies a global parameter adjustable by consensus (§5.3).
+type UpgradeKind uint32
+
+// Upgradable parameters.
+const (
+	UpgradeBaseFee UpgradeKind = iota + 1
+	UpgradeBaseReserve
+	UpgradeMaxTxSetSize
+	UpgradeProtocolVersion
+)
+
+// String names the kind.
+func (k UpgradeKind) String() string {
+	switch k {
+	case UpgradeBaseFee:
+		return "base-fee"
+	case UpgradeBaseReserve:
+		return "base-reserve"
+	case UpgradeMaxTxSetSize:
+		return "max-tx-set-size"
+	case UpgradeProtocolVersion:
+		return "protocol-version"
+	default:
+		return fmt.Sprintf("UpgradeKind(%d)", uint32(k))
+	}
+}
+
+// Upgrade is one parameter change proposal.
+type Upgrade struct {
+	Kind  UpgradeKind
+	Value int64
+}
+
+// StellarValue is the structure Stellar uses SCP to agree on for each
+// ledger (§5.3): a transaction set hash, a close time, and upgrades.
+type StellarValue struct {
+	TxSetHash stellarcrypto.Hash
+	CloseTime int64
+	Upgrades  []Upgrade
+}
+
+// Encode produces the canonical scp.Value bytes.
+func (v *StellarValue) Encode() scp.Value {
+	e := xdr.NewEncoder(64)
+	e.PutFixed(v.TxSetHash[:])
+	e.PutInt64(v.CloseTime)
+	ups := append([]Upgrade(nil), v.Upgrades...)
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i].Kind != ups[j].Kind {
+			return ups[i].Kind < ups[j].Kind
+		}
+		return ups[i].Value < ups[j].Value
+	})
+	e.PutUint32(uint32(len(ups)))
+	for _, u := range ups {
+		e.PutUint32(uint32(u.Kind))
+		e.PutInt64(u.Value)
+	}
+	out := make(scp.Value, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeValue parses scp.Value bytes back into a StellarValue.
+func DecodeValue(raw scp.Value) (*StellarValue, error) {
+	d := xdr.NewDecoder(raw)
+	var v StellarValue
+	h, err := d.Fixed(32)
+	if err != nil {
+		return nil, fmt.Errorf("herder: decode value: %w", err)
+	}
+	copy(v.TxSetHash[:], h)
+	if v.CloseTime, err = d.Int64(); err != nil {
+		return nil, fmt.Errorf("herder: decode value: %w", err)
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("herder: decode value: %w", err)
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("herder: value carries %d upgrades", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		k, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.Int64()
+		if err != nil {
+			return nil, err
+		}
+		v.Upgrades = append(v.Upgrades, Upgrade{Kind: UpgradeKind(k), Value: val})
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("herder: trailing bytes in value")
+	}
+	return &v, nil
+}
+
+// CombineValues composes multiple confirmed-nominated StellarValues per
+// §5.3: the transaction set with the most operations (ties broken by total
+// fees, then by transaction set hash), the union of all upgrades (higher
+// values supersede lower for the same kind), and the highest close time.
+// txSetOps maps known tx set hashes to (numOps, totalFees); candidates
+// whose set is unknown cannot win the tx set slot.
+func CombineValues(cands []*StellarValue, txSetOps func(stellarcrypto.Hash) (ops int, fees int64, ok bool)) *StellarValue {
+	var out StellarValue
+	bestOps, bestFees := -1, int64(-1)
+	upgrades := map[UpgradeKind]int64{}
+	for _, c := range cands {
+		if c.CloseTime > out.CloseTime {
+			out.CloseTime = c.CloseTime
+		}
+		for _, u := range c.Upgrades {
+			if cur, ok := upgrades[u.Kind]; !ok || u.Value > cur {
+				upgrades[u.Kind] = u.Value
+			}
+		}
+		ops, fees, ok := txSetOps(c.TxSetHash)
+		if !ok {
+			continue
+		}
+		better := ops > bestOps ||
+			(ops == bestOps && fees > bestFees) ||
+			(ops == bestOps && fees == bestFees && out.TxSetHash.Less(c.TxSetHash))
+		if better {
+			out.TxSetHash = c.TxSetHash
+			bestOps, bestFees = ops, fees
+		}
+	}
+	kinds := make([]UpgradeKind, 0, len(upgrades))
+	for k := range upgrades {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		out.Upgrades = append(out.Upgrades, Upgrade{Kind: k, Value: upgrades[k]})
+	}
+	return &out
+}
+
+// UpgradeClass is a validator's judgment of an upgrade (§5.3 governance).
+type UpgradeClass int
+
+// Judgments: desired upgrades are voted for; valid ones are accepted if a
+// blocking set pushes them; invalid ones are never voted for or accepted.
+const (
+	UpgradeInvalid UpgradeClass = iota
+	UpgradeValid
+	UpgradeDesired
+)
+
+// ClassifyUpgrade applies sanity bounds and the node's desired list.
+func ClassifyUpgrade(u Upgrade, desired []Upgrade) UpgradeClass {
+	valid := false
+	switch u.Kind {
+	case UpgradeBaseFee:
+		valid = u.Value >= 1 && u.Value <= 10_000_000
+	case UpgradeBaseReserve:
+		valid = u.Value >= 1 && u.Value <= 1_000_000_000
+	case UpgradeMaxTxSetSize:
+		valid = u.Value >= 1 && u.Value <= 1_000_000
+	case UpgradeProtocolVersion:
+		valid = u.Value >= 1 && u.Value <= 100
+	}
+	if !valid {
+		return UpgradeInvalid
+	}
+	for _, d := range desired {
+		if d.Kind == u.Kind && d.Value == u.Value {
+			return UpgradeDesired
+		}
+	}
+	return UpgradeValid
+}

@@ -1,0 +1,234 @@
+// Package history implements the write-only history archive of paper §5.4:
+// every confirmed transaction set, every ledger header, and snapshots of
+// buckets, stored as flat files so the archive can live on any blob store
+// ("cheap places such as Amazon Glacier"). New nodes bootstrap from the
+// archive; it is also the system of record for looking up old transactions.
+package history
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stellar/internal/bucket"
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+)
+
+func init() {
+	// Operations travel inside archived transactions as interface values.
+	gob.Register(&ledger.CreateAccount{})
+	gob.Register(&ledger.Payment{})
+	gob.Register(&ledger.PathPayment{})
+	gob.Register(&ledger.ManageOffer{})
+	gob.Register(&ledger.SetOptions{})
+	gob.Register(&ledger.ChangeTrust{})
+	gob.Register(&ledger.AllowTrust{})
+	gob.Register(&ledger.AccountMerge{})
+	gob.Register(&ledger.ManageData{})
+	gob.Register(&ledger.BumpSequence{})
+}
+
+// Archive is a directory-backed, append-only history archive.
+type Archive struct {
+	dir string
+}
+
+// Open creates (if necessary) and opens an archive rooted at dir.
+func Open(dir string) (*Archive, error) {
+	for _, sub := range []string{"txsets", "headers", "buckets", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("history: create archive: %w", err)
+		}
+	}
+	return &Archive{dir: dir}, nil
+}
+
+// Dir returns the archive root.
+func (a *Archive) Dir() string { return a.dir }
+
+// writeFile writes atomically-ish (temp + rename) to keep the archive
+// consistent under crashes.
+func (a *Archive) writeFile(rel string, data []byte) error {
+	path := filepath.Join(a.dir, rel)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("history: write %s: %w", rel, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("history: rename %s: %w", rel, err)
+	}
+	return nil
+}
+
+func (a *Archive) readFile(rel string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(a.dir, rel))
+	if err != nil {
+		return nil, fmt.Errorf("history: read %s: %w", rel, err)
+	}
+	return data, nil
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("history: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("history: decode: %w", err)
+	}
+	return nil
+}
+
+// PutTxSet archives the transaction set confirmed for a ledger.
+func (a *Archive) PutTxSet(seq uint32, ts *ledger.TxSet) error {
+	data, err := encodeGob(ts)
+	if err != nil {
+		return err
+	}
+	return a.writeFile(fmt.Sprintf("txsets/%08d.gob", seq), data)
+}
+
+// GetTxSet retrieves an archived transaction set ("there needs to be some
+// place one can look up a transaction from two years ago", §5.4).
+func (a *Archive) GetTxSet(seq uint32) (*ledger.TxSet, error) {
+	data, err := a.readFile(fmt.Sprintf("txsets/%08d.gob", seq))
+	if err != nil {
+		return nil, err
+	}
+	var ts ledger.TxSet
+	if err := decodeGob(data, &ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// PutHeader archives a closed ledger header.
+func (a *Archive) PutHeader(h *ledger.Header) error {
+	data, err := encodeGob(h)
+	if err != nil {
+		return err
+	}
+	return a.writeFile(fmt.Sprintf("headers/%08d.gob", h.LedgerSeq), data)
+}
+
+// GetHeader retrieves an archived header.
+func (a *Archive) GetHeader(seq uint32) (*ledger.Header, error) {
+	data, err := a.readFile(fmt.Sprintf("headers/%08d.gob", seq))
+	if err != nil {
+		return nil, err
+	}
+	var h ledger.Header
+	if err := decodeGob(data, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// PutBucket archives a bucket, content-addressed by its hash; writing the
+// same bucket twice is a no-op.
+func (a *Archive) PutBucket(b *bucket.Bucket) error {
+	rel := fmt.Sprintf("buckets/%s.gob", b.Hash().Hex())
+	if _, err := os.Stat(filepath.Join(a.dir, rel)); err == nil {
+		return nil // already archived
+	}
+	data, err := encodeGob(b.Entries())
+	if err != nil {
+		return err
+	}
+	return a.writeFile(rel, data)
+}
+
+// GetBucket retrieves a bucket by hash, verifying integrity.
+func (a *Archive) GetBucket(hash stellarcrypto.Hash) (*bucket.Bucket, error) {
+	data, err := a.readFile(fmt.Sprintf("buckets/%s.gob", hash.Hex()))
+	if err != nil {
+		return nil, err
+	}
+	var entries []bucket.Entry
+	if err := decodeGob(data, &entries); err != nil {
+		return nil, err
+	}
+	b := bucket.NewBucket(entries)
+	if b.Hash() != hash {
+		return nil, fmt.Errorf("history: bucket %s corrupt (got %s)", hash.Hex(), b.Hash().Hex())
+	}
+	return b, nil
+}
+
+// Checkpoint records, for a ledger sequence, the full set of bucket hashes
+// making up the bucket list plus the header hash — everything a new node
+// needs to bootstrap.
+type Checkpoint struct {
+	LedgerSeq    uint32
+	HeaderHash   stellarcrypto.Hash
+	BucketHashes []stellarcrypto.Hash
+}
+
+// PutCheckpoint archives a checkpoint and updates the latest pointer.
+func (a *Archive) PutCheckpoint(cp *Checkpoint) error {
+	data, err := encodeGob(cp)
+	if err != nil {
+		return err
+	}
+	if err := a.writeFile(fmt.Sprintf("checkpoints/%08d.gob", cp.LedgerSeq), data); err != nil {
+		return err
+	}
+	return a.writeFile("checkpoints/latest", []byte(fmt.Sprintf("%d", cp.LedgerSeq)))
+}
+
+// LatestCheckpoint returns the newest archived checkpoint.
+func (a *Archive) LatestCheckpoint() (*Checkpoint, error) {
+	data, err := a.readFile("checkpoints/latest")
+	if err != nil {
+		return nil, err
+	}
+	var seq uint32
+	if _, err := fmt.Sscanf(string(data), "%d", &seq); err != nil {
+		return nil, fmt.Errorf("history: bad latest pointer: %w", err)
+	}
+	return a.GetCheckpoint(seq)
+}
+
+// GetCheckpoint returns the checkpoint for a specific ledger.
+func (a *Archive) GetCheckpoint(seq uint32) (*Checkpoint, error) {
+	data, err := a.readFile(fmt.Sprintf("checkpoints/%08d.gob", seq))
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := decodeGob(data, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// RestoreBucketList rebuilds a bucket list from a checkpoint, fetching
+// each bucket from the archive.
+func (a *Archive) RestoreBucketList(cp *Checkpoint) (*bucket.List, error) {
+	l := bucket.NewList()
+	if len(cp.BucketHashes) != 2*bucket.NumLevels {
+		return nil, fmt.Errorf("history: checkpoint has %d bucket hashes, want %d",
+			len(cp.BucketHashes), 2*bucket.NumLevels)
+	}
+	empty := bucket.EmptyBucket().Hash()
+	for i, h := range cp.BucketHashes {
+		if h == empty {
+			continue
+		}
+		b, err := a.GetBucket(h)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.SetBucket(i/2, i%2 == 1, b); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

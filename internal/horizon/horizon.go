@@ -1,0 +1,363 @@
+// Package horizon implements the client-facing API daemon of paper §5.4
+// and Figure 5: stellar-core exposes only a narrow interface for
+// submitting transactions, so applications talk to horizon, which provides
+// an HTTP interface for submitting and learning of transactions, reading
+// accounts, trustlines, offers, and ledgers, and finding payment paths —
+// a feature "implemented entirely in horizon" that can evolve without
+// coordinating with other validators.
+package horizon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stellar/internal/herder"
+	"stellar/internal/history"
+	"stellar/internal/ledger"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// Server is a horizon instance bound to one validator node. Because the
+// validator lives inside the single-threaded simulation, every request
+// takes the simulation lock; the driver goroutine advancing virtual time
+// shares it.
+type Server struct {
+	Mu   sync.Mutex
+	Node *herder.Node
+	Net  *simnet.Network
+
+	NetworkID stellarcrypto.Hash
+	archive   *history.Archive
+}
+
+// New builds a Server for the node.
+func New(node *herder.Node, net *simnet.Network, networkID stellarcrypto.Hash) *Server {
+	return &Server{Node: node, Net: net, NetworkID: networkID}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ledgers/latest", s.handleLatestLedger)
+	mux.HandleFunc("GET /accounts/{id}", s.handleAccount)
+	mux.HandleFunc("GET /order_book", s.handleOrderBook)
+	mux.HandleFunc("GET /paths", s.handlePaths)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /transactions", s.handleSubmit)
+	s.registerHistory(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// LedgerInfo is the public view of a ledger header.
+type LedgerInfo struct {
+	Sequence     uint32 `json:"sequence"`
+	Hash         string `json:"hash"`
+	PrevHash     string `json:"prev_hash"`
+	CloseTime    int64  `json:"close_time"`
+	TxSetHash    string `json:"tx_set_hash"`
+	SnapshotHash string `json:"snapshot_hash"`
+	BaseFee      string `json:"base_fee"`
+	BaseReserve  string `json:"base_reserve"`
+}
+
+func (s *Server) handleLatestLedger(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	h := s.Node.LastHeader()
+	if h == nil {
+		writeError(w, http.StatusServiceUnavailable, "node not bootstrapped")
+		return
+	}
+	writeJSON(w, http.StatusOK, LedgerInfo{
+		Sequence:     h.LedgerSeq,
+		Hash:         h.Hash().Hex(),
+		PrevHash:     h.PrevHash().Hex(),
+		CloseTime:    h.CloseTime,
+		TxSetHash:    h.TxSetHash.Hex(),
+		SnapshotHash: h.SnapshotHash.Hex(),
+		BaseFee:      ledger.FormatAmount(h.BaseFee),
+		BaseReserve:  ledger.FormatAmount(h.BaseReserve),
+	})
+}
+
+// AccountInfo is the public view of an account and its trustlines.
+type AccountInfo struct {
+	ID         string          `json:"id"`
+	Balance    string          `json:"balance"`
+	SeqNum     uint64          `json:"sequence"`
+	SubEntries uint32          `json:"subentries"`
+	Trustlines []TrustlineInfo `json:"trustlines,omitempty"`
+	Offers     []OfferInfo     `json:"offers,omitempty"`
+}
+
+// TrustlineInfo describes one trustline.
+type TrustlineInfo struct {
+	Asset      string `json:"asset"`
+	Balance    string `json:"balance"`
+	Limit      string `json:"limit"`
+	Authorized bool   `json:"authorized"`
+}
+
+// OfferInfo describes one offer.
+type OfferInfo struct {
+	ID      uint64 `json:"id"`
+	Seller  string `json:"seller"`
+	Selling string `json:"selling"`
+	Buying  string `json:"buying"`
+	Amount  string `json:"amount"`
+	Price   string `json:"price"`
+}
+
+func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	id := ledger.AccountID(r.PathValue("id"))
+	st := s.Node.State()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "node not bootstrapped")
+		return
+	}
+	a := st.Account(id)
+	if a == nil {
+		writeError(w, http.StatusNotFound, "account %s not found", id)
+		return
+	}
+	info := AccountInfo{
+		ID:         string(a.ID),
+		Balance:    ledger.FormatAmount(a.Balance),
+		SeqNum:     a.SeqNum,
+		SubEntries: a.NumSubEntries,
+	}
+	for _, t := range st.TrustlinesOf(id) {
+		info.Trustlines = append(info.Trustlines, TrustlineInfo{
+			Asset:      t.Asset.String(),
+			Balance:    ledger.FormatAmount(t.Balance),
+			Limit:      ledger.FormatAmount(t.Limit),
+			Authorized: t.Authorized,
+		})
+	}
+	for _, o := range st.OffersOf(id) {
+		info.Offers = append(info.Offers, offerInfo(o))
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func offerInfo(o *ledger.OfferEntry) OfferInfo {
+	return OfferInfo{
+		ID:      o.ID,
+		Seller:  string(o.Seller),
+		Selling: o.Selling.String(),
+		Buying:  o.Buying.String(),
+		Amount:  ledger.FormatAmount(o.Amount),
+		Price:   o.Price.String(),
+	}
+}
+
+// parseAsset parses "native" or "CODE:ISSUER".
+func parseAsset(s string) (ledger.Asset, error) {
+	if s == "native" || s == "XLM" || s == "" {
+		return ledger.NativeAsset(), nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return ledger.Asset{}, fmt.Errorf("asset %q must be native or CODE:ISSUER", s)
+	}
+	return ledger.NewAsset(parts[0], ledger.AccountID(parts[1]))
+}
+
+func (s *Server) handleOrderBook(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	selling, err := parseAsset(r.URL.Query().Get("selling"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	buying, err := parseAsset(r.URL.Query().Get("buying"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.Node.State()
+	var out []OfferInfo
+	for _, o := range st.OffersBook(selling, buying) {
+		out = append(out, offerInfo(o))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"selling": selling.String(),
+		"buying":  buying.String(),
+		"offers":  out,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	m := s.Node.Metrics
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ledgers_closed":       m.CloseInterval.N(),
+		"close_interval_mean":  m.CloseInterval.Mean().String(),
+		"nomination_mean":      m.Nomination.Mean().String(),
+		"balloting_mean":       m.Balloting.Mean().String(),
+		"ledger_update_mean":   m.LedgerUpdate.Mean().String(),
+		"tx_per_ledger_mean":   m.TxPerLedger.Mean(),
+		"pending_transactions": s.Node.PendingCount(),
+	})
+}
+
+// SubmitRequest is the JSON transaction submission format: a simplified
+// envelope covering the common operations (the demo equivalent of
+// horizon's XDR submission endpoint).
+type SubmitRequest struct {
+	SourceSeed string      `json:"source_seed"` // signing seed label (demo)
+	Fee        string      `json:"fee,omitempty"`
+	Operations []SubmitOp  `json:"operations"`
+	TimeBounds *TimeBounds `json:"time_bounds,omitempty"`
+}
+
+// TimeBounds mirrors ledger.TimeBounds in JSON.
+type TimeBounds struct {
+	MinTime int64 `json:"min_time,omitempty"`
+	MaxTime int64 `json:"max_time,omitempty"`
+}
+
+// SubmitOp is a JSON operation union.
+type SubmitOp struct {
+	Type        string `json:"type"` // payment | create_account | change_trust | manage_offer
+	Destination string `json:"destination,omitempty"`
+	Asset       string `json:"asset,omitempty"`
+	Amount      string `json:"amount,omitempty"`
+	Limit       string `json:"limit,omitempty"`
+	Selling     string `json:"selling,omitempty"`
+	Buying      string `json:"buying,omitempty"`
+	PriceN      int32  `json:"price_n,omitempty"`
+	PriceD      int32  `json:"price_d,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	tx, err := s.buildTx(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.Node.SubmitTx(tx); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"hash":   tx.Hash(s.NetworkID).Hex(),
+		"status": "pending",
+	})
+}
+
+func (s *Server) buildTx(req *SubmitRequest) (*ledger.Transaction, error) {
+	kp := stellarcrypto.KeyPairFromString(req.SourceSeed)
+	source := ledger.AccountIDFromPublicKey(kp.Public)
+	st := s.Node.State()
+	acct := st.Account(source)
+	if acct == nil {
+		return nil, fmt.Errorf("source account %s does not exist", source)
+	}
+	var ops []ledger.Operation
+	for _, op := range req.Operations {
+		body, err := buildOp(op)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, ledger.Operation{Body: body})
+	}
+	fee := st.BaseFee * ledger.Amount(len(ops))
+	if req.Fee != "" {
+		f, err := strconv.ParseInt(req.Fee, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fee: %v", err)
+		}
+		fee = f
+	}
+	tx := &ledger.Transaction{
+		Source:     source,
+		Fee:        fee,
+		SeqNum:     acct.SeqNum + 1,
+		Operations: ops,
+	}
+	if req.TimeBounds != nil {
+		tx.TimeBounds = &ledger.TimeBounds{MinTime: req.TimeBounds.MinTime, MaxTime: req.TimeBounds.MaxTime}
+	}
+	tx.Sign(s.NetworkID, kp)
+	return tx, nil
+}
+
+func buildOp(op SubmitOp) (ledger.OpBody, error) {
+	switch op.Type {
+	case "payment":
+		asset, err := parseAsset(op.Asset)
+		if err != nil {
+			return nil, err
+		}
+		amt, err := ledger.ParseAmount(op.Amount)
+		if err != nil {
+			return nil, err
+		}
+		return &ledger.Payment{Destination: ledger.AccountID(op.Destination), Asset: asset, Amount: amt}, nil
+	case "create_account":
+		amt, err := ledger.ParseAmount(op.Amount)
+		if err != nil {
+			return nil, err
+		}
+		return &ledger.CreateAccount{Destination: ledger.AccountID(op.Destination), StartingBalance: amt}, nil
+	case "change_trust":
+		asset, err := parseAsset(op.Asset)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := ledger.ParseAmount(op.Limit)
+		if err != nil {
+			return nil, err
+		}
+		return &ledger.ChangeTrust{Asset: asset, Limit: limit}, nil
+	case "manage_offer":
+		selling, err := parseAsset(op.Selling)
+		if err != nil {
+			return nil, err
+		}
+		buying, err := parseAsset(op.Buying)
+		if err != nil {
+			return nil, err
+		}
+		amt, err := ledger.ParseAmount(op.Amount)
+		if err != nil {
+			return nil, err
+		}
+		price, err := ledger.NewPrice(op.PriceN, op.PriceD)
+		if err != nil {
+			return nil, err
+		}
+		return &ledger.ManageOffer{Selling: selling, Buying: buying, Amount: amt, Price: price}, nil
+	default:
+		return nil, fmt.Errorf("unknown operation type %q", op.Type)
+	}
+}

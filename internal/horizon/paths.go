@@ -1,0 +1,143 @@
+package horizon
+
+import (
+	"net/http"
+
+	"stellar/internal/ledger"
+)
+
+// Payment path finding (§5.4): given a destination amount of a destination
+// asset, find source assets and intermediate hops that can deliver it
+// through the order books, with the estimated source cost. This runs
+// read-only against the validator's ledger state and "can be upgraded
+// unilaterally without coordinating with other validators".
+
+// PathResult is one viable payment path.
+type PathResult struct {
+	SourceAsset string   `json:"source_asset"`
+	SourceCost  string   `json:"source_cost"`
+	Path        []string `json:"path,omitempty"`
+	Hops        int      `json:"hops"`
+}
+
+// maxPathHops bounds the search; PathPayment itself allows 5 intermediate
+// assets, but 3 hops covers realistic liquidity graphs.
+const maxPathHops = 3
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	q := r.URL.Query()
+	destAsset, err := parseAsset(q.Get("destination_asset"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	destAmount, err := ledger.ParseAmount(q.Get("destination_amount"))
+	if err != nil || destAmount <= 0 {
+		writeError(w, http.StatusBadRequest, "bad destination_amount")
+		return
+	}
+	results := FindPaths(s.Node.State(), destAsset, destAmount)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"destination_asset":  destAsset.String(),
+		"destination_amount": ledger.FormatAmount(destAmount),
+		"paths":              results,
+	})
+}
+
+// FindPaths searches backward from the destination asset across order
+// books, estimating the cost of acquiring destAmount via each path.
+func FindPaths(st *ledger.State, destAsset ledger.Asset, destAmount ledger.Amount) []PathResult {
+	type node struct {
+		asset ledger.Asset
+		cost  ledger.Amount
+		path  []ledger.Asset // intermediate assets, destination first
+	}
+	frontier := []node{{asset: destAsset, cost: destAmount}}
+	best := map[string]ledger.Amount{destAsset.Key(): destAmount}
+	var results []PathResult
+
+	assets := knownAssets(st)
+	for hop := 0; hop < maxPathHops; hop++ {
+		var next []node
+		for _, cur := range frontier {
+			// Any asset with a book selling cur.asset can source it.
+			for _, from := range assets {
+				if from.Equal(cur.asset) {
+					continue
+				}
+				cost, ok := estimateCost(st, cur.asset, from, cur.cost)
+				if !ok {
+					continue
+				}
+				if prev, seen := best[from.Key()]; seen && prev <= cost {
+					continue
+				}
+				best[from.Key()] = cost
+				// path lists the chain after the source asset; its last
+				// element is the destination, so the PathPayment "path"
+				// field (intermediates only) drops it.
+				path := append([]ledger.Asset{cur.asset}, cur.path...)
+				next = append(next, node{asset: from, cost: cost, path: path})
+				results = append(results, PathResult{
+					SourceAsset: from.String(),
+					SourceCost:  ledger.FormatAmount(cost),
+					Path:        pathStrings(path[:len(path)-1]),
+					Hops:        hop + 1,
+				})
+			}
+		}
+		frontier = next
+	}
+	return results
+}
+
+func pathStrings(assets []ledger.Asset) []string {
+	var out []string
+	for _, a := range assets {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+// knownAssets lists every asset appearing in any live offer, plus native.
+func knownAssets(st *ledger.State) []ledger.Asset {
+	seen := map[string]ledger.Asset{"native": ledger.NativeAsset()}
+	for _, o := range st.AllOffers() {
+		seen[o.Selling.Key()] = o.Selling
+		seen[o.Buying.Key()] = o.Buying
+	}
+	out := make([]ledger.Asset, 0, len(seen))
+	for _, a := range seen {
+		out = append(out, a)
+	}
+	return out
+}
+
+// estimateCost walks the (get, give) order book read-only and returns how
+// much give is needed to buy want of get.
+func estimateCost(st *ledger.State, get, give ledger.Asset, want ledger.Amount) (ledger.Amount, bool) {
+	book := st.OffersBook(get, give)
+	if len(book) == 0 {
+		return 0, false
+	}
+	var cost ledger.Amount
+	remaining := want
+	for _, o := range book {
+		take := o.Amount
+		if take > remaining {
+			take = remaining
+		}
+		c, err := o.Price.MulCeil(take)
+		if err != nil {
+			return 0, false
+		}
+		cost += c
+		remaining -= take
+		if remaining == 0 {
+			return cost, true
+		}
+	}
+	return 0, false // book too thin
+}

@@ -1,0 +1,288 @@
+// Package ledger implements Stellar's replicated ledger (paper §5): the
+// account-based ledger model with accounts, trustlines, offers, and data
+// entries (§5.1), the transaction and operation model (§5.2, Figure 4)
+// including multisig, sequence numbers, time bounds, and fees, plus the
+// built-in order book and cross-asset path payments that make markets
+// between tokens from different issuers.
+package ledger
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// AccountID names an account by its public key address ("G...").
+type AccountID string
+
+// AccountIDFromPublicKey derives the canonical AccountID.
+func AccountIDFromPublicKey(pk stellarcrypto.PublicKey) AccountID {
+	return AccountID(pk.Address())
+}
+
+// PublicKey recovers the verification key embedded in the account ID.
+func (a AccountID) PublicKey() (stellarcrypto.PublicKey, error) {
+	return stellarcrypto.PublicKeyFromAddress(string(a))
+}
+
+// String shortens the address for logs.
+func (a AccountID) String() string {
+	if len(a) < 8 {
+		return string(a)
+	}
+	return string(a[:8])
+}
+
+// Amount is a quantity of an asset in stroops; as in Stellar, one token is
+// 10^7 stroops, giving seven decimal places of precision in int64 math.
+type Amount = int64
+
+// One is a single whole token in stroops.
+const One Amount = 10_000_000
+
+// MaxAmount bounds any single balance or offer (int64 max).
+const MaxAmount Amount = 1<<63 - 1
+
+// FormatAmount renders stroops as a decimal token quantity.
+func FormatAmount(a Amount) string {
+	sign := ""
+	if a < 0 {
+		sign = "-"
+		a = -a
+	}
+	return fmt.Sprintf("%s%d.%07d", sign, a/One, a%One)
+}
+
+// ParseAmount parses a decimal token quantity into stroops.
+func ParseAmount(s string) (Amount, error) {
+	s = strings.TrimSpace(s)
+	neg := strings.HasPrefix(s, "-")
+	s = strings.TrimPrefix(s, "-")
+	whole, frac := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		whole, frac = s[:i], s[i+1:]
+	}
+	if len(frac) > 7 {
+		return 0, fmt.Errorf("ledger: amount %q has more than 7 decimal places", s)
+	}
+	frac += strings.Repeat("0", 7-len(frac))
+	var out Amount
+	if whole == "" {
+		whole = "0"
+	}
+	for _, c := range whole {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("ledger: bad amount %q", s)
+		}
+		d := Amount(c - '0')
+		if out > (MaxAmount-d)/10 {
+			return 0, fmt.Errorf("ledger: amount %q overflows", s)
+		}
+		out = out*10 + d
+	}
+	for _, c := range frac {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("ledger: bad amount %q", s)
+		}
+	}
+	var f Amount
+	for _, c := range frac {
+		f = f*10 + Amount(c-'0')
+	}
+	if out > (MaxAmount-f)/One {
+		return 0, fmt.Errorf("ledger: amount %q overflows", s)
+	}
+	out = out*One + f
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+// Asset identifies a token: either the native XLM or an asset named by an
+// issuing account and a short code (paper §5.1: "USD", "EUR", ...).
+type Asset struct {
+	Code   string    // empty for native XLM
+	Issuer AccountID // empty for native XLM
+}
+
+// NativeAsset returns the native XLM asset.
+func NativeAsset() Asset { return Asset{} }
+
+// NewAsset builds an issued asset, validating the code (1–12 alphanumeric
+// characters, as in Stellar).
+func NewAsset(code string, issuer AccountID) (Asset, error) {
+	if len(code) == 0 || len(code) > 12 {
+		return Asset{}, fmt.Errorf("ledger: asset code %q length must be 1-12", code)
+	}
+	for _, c := range code {
+		if !(c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+			return Asset{}, fmt.Errorf("ledger: asset code %q has invalid character", code)
+		}
+	}
+	if issuer == "" {
+		return Asset{}, fmt.Errorf("ledger: issued asset needs an issuer")
+	}
+	return Asset{Code: code, Issuer: issuer}, nil
+}
+
+// MustAsset is NewAsset for tests and examples; it panics on bad input.
+func MustAsset(code string, issuer AccountID) Asset {
+	a, err := NewAsset(code, issuer)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IsNative reports whether the asset is XLM.
+func (a Asset) IsNative() bool { return a.Code == "" && a.Issuer == "" }
+
+// Equal reports asset identity.
+func (a Asset) Equal(b Asset) bool { return a == b }
+
+// String renders "XLM" or "CODE:issuer".
+func (a Asset) String() string {
+	if a.IsNative() {
+		return "XLM"
+	}
+	return fmt.Sprintf("%s:%s", a.Code, a.Issuer.String())
+}
+
+// Key returns a canonical map key for the asset.
+func (a Asset) Key() string {
+	if a.IsNative() {
+		return "native"
+	}
+	return a.Code + "/" + string(a.Issuer)
+}
+
+// EncodeXDR writes the canonical encoding.
+func (a Asset) EncodeXDR(e *xdr.Encoder) {
+	e.PutString(a.Code)
+	e.PutString(string(a.Issuer))
+}
+
+func decodeAsset(d *xdr.Decoder) (Asset, error) {
+	code, err := d.String()
+	if err != nil {
+		return Asset{}, err
+	}
+	issuer, err := d.String()
+	if err != nil {
+		return Asset{}, err
+	}
+	return Asset{Code: code, Issuer: AccountID(issuer)}, nil
+}
+
+// Price is an exchange rate as a rational number N/D: the cost of one unit
+// of the asset being sold, denominated in the asset being bought.
+type Price struct {
+	N, D int32
+}
+
+// NewPrice validates and builds a price.
+func NewPrice(n, d int32) (Price, error) {
+	if n <= 0 || d <= 0 {
+		return Price{}, fmt.Errorf("ledger: price %d/%d must be positive", n, d)
+	}
+	return Price{N: n, D: d}, nil
+}
+
+// MustPrice is NewPrice that panics on invalid input (tests, examples).
+func MustPrice(n, d int32) Price {
+	p, err := NewPrice(n, d)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Valid reports whether the price is positive.
+func (p Price) Valid() bool { return p.N > 0 && p.D > 0 }
+
+// Cmp compares p and q as rationals (-1, 0, 1) without overflow.
+func (p Price) Cmp(q Price) int {
+	l := int64(p.N) * int64(q.D)
+	r := int64(q.N) * int64(p.D)
+	switch {
+	case l < r:
+		return -1
+	case l > r:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Inverse returns the reciprocal price.
+func (p Price) Inverse() Price { return Price{N: p.D, D: p.N} }
+
+// String renders the rational.
+func (p Price) String() string { return fmt.Sprintf("%d/%d", p.N, p.D) }
+
+// EncodeXDR writes the canonical encoding.
+func (p Price) EncodeXDR(e *xdr.Encoder) {
+	e.PutInt32(p.N)
+	e.PutInt32(p.D)
+}
+
+// MulCeil returns ⌈a · N/D⌉, the buying-asset cost of a selling-asset
+// amount, erroring on overflow.
+func (p Price) MulCeil(a Amount) (Amount, error) {
+	if a < 0 {
+		return 0, fmt.Errorf("ledger: negative amount")
+	}
+	hi, lo := mul64(uint64(a), uint64(p.N))
+	q, rem, err := div128(hi, lo, uint64(p.D))
+	if err != nil {
+		return 0, err
+	}
+	if rem > 0 {
+		q++
+	}
+	if q > uint64(MaxAmount) {
+		return 0, fmt.Errorf("ledger: price multiplication overflow")
+	}
+	return Amount(q), nil
+}
+
+// MulFloor returns ⌊a · N/D⌋.
+func (p Price) MulFloor(a Amount) (Amount, error) {
+	if a < 0 {
+		return 0, fmt.Errorf("ledger: negative amount")
+	}
+	hi, lo := mul64(uint64(a), uint64(p.N))
+	q, _, err := div128(hi, lo, uint64(p.D))
+	if err != nil {
+		return 0, err
+	}
+	if q > uint64(MaxAmount) {
+		return 0, fmt.Errorf("ledger: price multiplication overflow")
+	}
+	return Amount(q), nil
+}
+
+// DivFloor returns ⌊a · D/N⌋, converting buying-asset back to selling.
+func (p Price) DivFloor(a Amount) (Amount, error) {
+	return p.Inverse().MulFloor(a)
+}
+
+// mul64 computes the 128-bit product of two uint64s.
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+// div128 divides the 128-bit value (hi,lo) by d, erroring if the quotient
+// overflows 64 bits.
+func div128(hi, lo, d uint64) (q, r uint64, err error) {
+	if d == 0 {
+		return 0, 0, fmt.Errorf("ledger: division by zero")
+	}
+	if hi >= d {
+		return 0, 0, fmt.Errorf("ledger: 128-bit division overflow")
+	}
+	q, r = bits.Div64(hi, lo, d)
+	return q, r, nil
+}

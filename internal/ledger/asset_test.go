@@ -1,0 +1,160 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatParseAmount(t *testing.T) {
+	cases := []struct {
+		s string
+		v Amount
+	}{
+		{"0.0000000", 0},
+		{"1.0000000", One},
+		{"0.0000001", 1},
+		{"123.4567890", 1234567890},
+		{"-2.5000000", -25000000},
+	}
+	for _, c := range cases {
+		if got := FormatAmount(c.v); got != c.s {
+			t.Errorf("FormatAmount(%d) = %q, want %q", c.v, got, c.s)
+		}
+		got, err := ParseAmount(c.s)
+		if err != nil || got != c.v {
+			t.Errorf("ParseAmount(%q) = %d, %v, want %d", c.s, got, err, c.v)
+		}
+	}
+}
+
+func TestParseAmountShortForms(t *testing.T) {
+	if v, err := ParseAmount("5"); err != nil || v != 5*One {
+		t.Fatalf("ParseAmount(5) = %d, %v", v, err)
+	}
+	if v, err := ParseAmount("0.5"); err != nil || v != One/2 {
+		t.Fatalf("ParseAmount(0.5) = %d, %v", v, err)
+	}
+	if _, err := ParseAmount("1.23456789"); err == nil {
+		t.Fatal("8 decimal places accepted")
+	}
+	if _, err := ParseAmount("abc"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseAmount("99999999999999999999"); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestAmountRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		got, err := ParseAmount(FormatAmount(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssetValidation(t *testing.T) {
+	if _, err := NewAsset("", "GABC"); err == nil {
+		t.Fatal("empty code accepted")
+	}
+	if _, err := NewAsset("TOOLONGCODE13", "GABC"); err == nil {
+		t.Fatal("13-char code accepted")
+	}
+	if _, err := NewAsset("US$", "GABC"); err == nil {
+		t.Fatal("symbol in code accepted")
+	}
+	if _, err := NewAsset("USD", ""); err == nil {
+		t.Fatal("missing issuer accepted")
+	}
+	a, err := NewAsset("USD", "GABC")
+	if err != nil || a.IsNative() {
+		t.Fatalf("valid asset rejected: %v", err)
+	}
+	if !NativeAsset().IsNative() {
+		t.Fatal("native asset not native")
+	}
+}
+
+func TestAssetKeyDistinct(t *testing.T) {
+	a := MustAsset("USD", "G1")
+	b := MustAsset("USD", "G2")
+	c := MustAsset("EUR", "G1")
+	if a.Key() == b.Key() || a.Key() == c.Key() || a.Key() == NativeAsset().Key() {
+		t.Fatal("asset keys collide")
+	}
+}
+
+func TestPriceCmp(t *testing.T) {
+	half := MustPrice(1, 2)
+	third := MustPrice(1, 3)
+	alsoHalf := MustPrice(2, 4)
+	if half.Cmp(third) != 1 || third.Cmp(half) != -1 || half.Cmp(alsoHalf) != 0 {
+		t.Fatal("price comparison broken")
+	}
+}
+
+func TestPriceValidation(t *testing.T) {
+	if _, err := NewPrice(0, 1); err == nil {
+		t.Fatal("zero numerator accepted")
+	}
+	if _, err := NewPrice(1, 0); err == nil {
+		t.Fatal("zero denominator accepted")
+	}
+	if _, err := NewPrice(-1, 2); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestPriceMulCeilFloor(t *testing.T) {
+	p := MustPrice(3, 2) // 1.5
+	if v, _ := p.MulCeil(10); v != 15 {
+		t.Fatalf("MulCeil(10) = %d", v)
+	}
+	if v, _ := p.MulCeil(11); v != 17 { // 16.5 → 17
+		t.Fatalf("MulCeil(11) = %d", v)
+	}
+	if v, _ := p.MulFloor(11); v != 16 {
+		t.Fatalf("MulFloor(11) = %d", v)
+	}
+	if v, _ := p.DivFloor(15); v != 10 {
+		t.Fatalf("DivFloor(15) = %d", v)
+	}
+}
+
+func TestPriceMulOverflow(t *testing.T) {
+	p := MustPrice(1<<31-1, 1)
+	if _, err := p.MulCeil(MaxAmount); err == nil {
+		t.Fatal("overflow not detected")
+	}
+}
+
+func TestPriceMulProperty(t *testing.T) {
+	// floor ≤ exact ≤ ceil, and they differ by at most 1.
+	f := func(a uint32, n, d uint16) bool {
+		if n == 0 || d == 0 {
+			return true
+		}
+		p := Price{N: int32(n), D: int32(d)}
+		lo, err1 := p.MulFloor(Amount(a))
+		hi, err2 := p.MulCeil(Amount(a))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lo <= hi && hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriceInverse(t *testing.T) {
+	p := MustPrice(3, 7)
+	if p.Inverse().N != 7 || p.Inverse().D != 3 {
+		t.Fatal("inverse wrong")
+	}
+}

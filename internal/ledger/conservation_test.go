@@ -1,0 +1,152 @@
+package ledger
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized conservation testing: across arbitrary sequences of trades,
+// payments, and path payments, no asset is created or destroyed except by
+// its issuer, and XLM is conserved up to fees (which move to the fee pool).
+
+func TestRandomizedConservation(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := newMarket(t)
+			traders := []AccountID{m.mm, m.taker}
+			assets := []Asset{m.usd, m.eur}
+
+			totalIssued := func(asset Asset) Amount {
+				var sum Amount
+				for _, acct := range traders {
+					sum += m.st.BalanceOf(acct, asset)
+				}
+				return sum
+			}
+			totalXLM := func() Amount {
+				var sum Amount
+				for _, id := range m.st.AccountIDs() {
+					sum += m.st.Account(id).Balance
+				}
+				return sum + m.st.FeePool
+			}
+
+			usdBefore, eurBefore := totalIssued(m.usd), totalIssued(m.eur)
+			xlmBefore := totalXLM()
+
+			for step := 0; step < 60; step++ {
+				src := traders[rng.Intn(len(traders))]
+				switch rng.Intn(3) {
+				case 0: // random offer
+					sell := assets[rng.Intn(len(assets))]
+					buy := assets[(rng.Intn(len(assets)-1)+1+indexOf(assets, sell))%len(assets)]
+					if sell.Equal(buy) {
+						continue
+					}
+					m.tx(src, Operation{Body: &ManageOffer{
+						Selling: sell, Buying: buy,
+						Amount: Amount(rng.Intn(20)+1) * One,
+						Price:  MustPrice(int32(rng.Intn(5)+1), int32(rng.Intn(5)+1)),
+					}})
+				case 1: // random payment
+					dst := traders[rng.Intn(len(traders))]
+					if dst == src {
+						continue
+					}
+					m.tx(src, Operation{Body: &Payment{
+						Destination: dst,
+						Asset:       assets[rng.Intn(len(assets))],
+						Amount:      Amount(rng.Intn(5)+1) * One,
+					}})
+				case 2: // random path payment (may fail on thin books; fine)
+					dst := traders[rng.Intn(len(traders))]
+					if dst == src {
+						continue
+					}
+					m.tx(src, Operation{Body: &PathPayment{
+						SendAsset: assets[rng.Intn(len(assets))], SendMax: 100 * One,
+						Destination: dst, DestAsset: assets[rng.Intn(len(assets))],
+						DestAmount: Amount(rng.Intn(3)+1) * One,
+					}})
+				}
+			}
+
+			// Cancel all standing offers so trustline balances reflect
+			// everything (offers only reserve, never hold, balances here).
+			for _, acct := range traders {
+				for _, o := range m.st.OffersOf(acct) {
+					m.mustOK(m.tx(acct, Operation{Body: &ManageOffer{
+						OfferID: o.ID, Selling: o.Selling, Buying: o.Buying,
+						Amount: 0, Price: o.Price,
+					}}))
+				}
+			}
+
+			if got := totalIssued(m.usd); got != usdBefore {
+				t.Fatalf("USD not conserved: %s → %s", FormatAmount(usdBefore), FormatAmount(got))
+			}
+			if got := totalIssued(m.eur); got != eurBefore {
+				t.Fatalf("EUR not conserved: %s → %s", FormatAmount(eurBefore), FormatAmount(got))
+			}
+			if got := totalXLM(); got != xlmBefore {
+				t.Fatalf("XLM+fees not conserved: %s → %s", FormatAmount(xlmBefore), FormatAmount(got))
+			}
+		})
+	}
+}
+
+func indexOf(assets []Asset, a Asset) int {
+	for i, x := range assets {
+		if x.Equal(a) {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestJournalRollbackFuzz interleaves failing and succeeding transactions
+// and verifies the state never drifts from a reference rebuilt from
+// snapshots — the journaling machinery under stress.
+func TestJournalRollbackFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := newMarket(t)
+	for step := 0; step < 80; step++ {
+		snapBefore := m.st.SnapshotAll()
+		// A transaction designed to fail at its last operation.
+		res := m.tx(m.taker,
+			Operation{Body: &Payment{Destination: m.mm, Asset: m.usd, Amount: One}},
+			Operation{Body: &ManageOffer{
+				Selling: m.usd, Buying: m.eur, Amount: 3 * One, Price: MustPrice(1, 2),
+			}},
+			Operation{Body: &Payment{Destination: m.mm, Asset: m.usd, Amount: MaxAmount / 2}}, // overdraft
+		)
+		if res.Success {
+			t.Fatal("designed-to-fail tx succeeded")
+		}
+		snapAfter := m.st.SnapshotAll()
+		// Only the taker's account entry (fee + seq) may differ.
+		diffs := 0
+		for i := range snapBefore {
+			if snapBefore[i].Key != snapAfter[i].Key {
+				t.Fatalf("step %d: entry set changed across rollback", step)
+			}
+			if string(snapBefore[i].Data) != string(snapAfter[i].Data) {
+				diffs++
+				if snapBefore[i].Key != accountKey(m.taker) {
+					t.Fatalf("step %d: rollback leaked into %s", step, snapBefore[i].Key)
+				}
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("step %d: %d entries changed, want ≤1", step, diffs)
+		}
+		// Occasionally interleave a successful trade to churn state.
+		if rng.Intn(3) == 0 {
+			m.mustOK(m.tx(m.mm, Operation{Body: &Payment{
+				Destination: m.taker, Asset: m.eur, Amount: One,
+			}}))
+		}
+	}
+}

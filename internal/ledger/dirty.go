@@ -1,0 +1,80 @@
+package ledger
+
+import "fmt"
+
+// Dirty-entry tracking: the bucket list (internal/bucket) ingests only the
+// entries changed since the previous ledger close, which is what keeps the
+// snapshot hash incremental (§5.1: the bucket list "can be efficiently
+// updated and incrementally rehashed").
+
+func (s *State) markDirty(key string) {
+	if s.dirty == nil {
+		s.dirty = make(map[string]struct{})
+	}
+	s.dirty[key] = struct{}{}
+}
+
+func accountKey(id AccountID) string   { return "a|" + string(id) }
+func trustlineKeyOf(k trustKey) string { return "t|" + string(k.account) + "|" + k.asset }
+func offerKey(id uint64) string        { return fmt.Sprintf("o|%020d", id) }
+func dataKeyOf(k dataKey) string       { return "d|" + string(k.account) + "|" + k.name }
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TakeDirtySnapshot returns the canonical encodings of every entry touched
+// since the last call (tombstones for deleted entries), sorted by key, and
+// resets the dirty set. The herder feeds this to the bucket list at each
+// ledger close.
+func (s *State) TakeDirtySnapshot() []SnapshotEntry {
+	out := make([]SnapshotEntry, 0, len(s.dirty))
+	for key := range s.dirty {
+		out = append(out, s.encodeByKey(key))
+	}
+	s.dirty = nil
+	sortSnapshot(out)
+	return out
+}
+
+// encodeByKey re-encodes the current content of the entry named by key, or
+// a tombstone if it no longer exists.
+func (s *State) encodeByKey(key string) SnapshotEntry {
+	switch key[0] {
+	case 'a':
+		id := AccountID(key[2:])
+		if a := s.accounts[id]; a != nil {
+			return encodeAccountEntry(a)
+		}
+	case 't':
+		// "t|<account>|<assetkey>"; account IDs never contain '|'.
+		rest := key[2:]
+		if i := indexByte(rest, '|'); i >= 0 {
+			k := trustKey{account: AccountID(rest[:i]), asset: rest[i+1:]}
+			if t := s.trustlines[k]; t != nil {
+				return encodeTrustlineEntry(t)
+			}
+		}
+	case 'o':
+		var id uint64
+		fmt.Sscanf(key[2:], "%d", &id)
+		if o := s.offers[id]; o != nil {
+			return encodeOfferEntry(o)
+		}
+	case 'd':
+		// "d|<account>|<name>"; names may contain '|', accounts may not.
+		rest := key[2:]
+		if i := indexByte(rest, '|'); i >= 0 {
+			k := dataKey{account: AccountID(rest[:i]), name: rest[i+1:]}
+			if d := s.data[k]; d != nil {
+				return encodeDataEntry(d)
+			}
+		}
+	}
+	return SnapshotEntry{Key: key, Data: nil} // tombstone
+}

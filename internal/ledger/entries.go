@@ -1,0 +1,208 @@
+package ledger
+
+import (
+	"sort"
+
+	"stellar/internal/xdr"
+)
+
+// Ledger entry types (paper §5.1): accounts, trustlines, offers, and
+// account data.
+
+// AccountFlags control issuer policies on an account.
+type AccountFlags uint32
+
+// Account flag bits.
+const (
+	// FlagAuthRequired restricts ownership of assets this account issues
+	// to trustlines the issuer has explicitly authorized (KYC, §5.1).
+	FlagAuthRequired AccountFlags = 1 << iota
+	// FlagAuthRevocable lets the issuer clear the authorized flag on
+	// existing trustlines.
+	FlagAuthRevocable
+	// FlagAuthImmutable forbids changing the other two flags.
+	FlagAuthImmutable
+)
+
+// Signer grants signing weight on an account to an additional key (§5.1
+// "multisig").
+type Signer struct {
+	Key    AccountID // public key address of the signer
+	Weight uint8     // 0 removes the signer
+}
+
+// Thresholds configure multisig: the master key's weight and the total
+// weight required for low-, medium-, and high-security operations.
+type Thresholds struct {
+	MasterWeight uint8
+	Low          uint8
+	Medium       uint8
+	High         uint8
+}
+
+// DefaultThresholds gives the master key weight 1 and all thresholds 0
+// (any nonzero-weight signature passes), Stellar's defaults.
+func DefaultThresholds() Thresholds { return Thresholds{MasterWeight: 1} }
+
+// AccountEntry is the principal ledger entry: a balance of native XLM, a
+// sequence number for replay prevention, flags, signers, and a count of
+// owned subentries driving the reserve (§5.1).
+type AccountEntry struct {
+	ID            AccountID
+	Balance       Amount // native XLM, in stroops
+	SeqNum        uint64
+	Flags         AccountFlags
+	Thresholds    Thresholds
+	Signers       []Signer // sorted by key
+	NumSubEntries uint32   // trustlines + offers + data entries + signers
+	HomeDomain    string
+}
+
+// clone returns a deep copy.
+func (a *AccountEntry) clone() *AccountEntry {
+	c := *a
+	c.Signers = append([]Signer(nil), a.Signers...)
+	return &c
+}
+
+// signerWeight returns the signing weight key carries on this account: the
+// master weight for the account's own key, or the listed signer weight.
+func (a *AccountEntry) signerWeight(key AccountID) uint8 {
+	if key == a.ID {
+		return a.Thresholds.MasterWeight
+	}
+	for _, s := range a.Signers {
+		if s.Key == key {
+			return s.Weight
+		}
+	}
+	return 0
+}
+
+// setSigner adds, updates, or (weight 0) removes a signer, returning the
+// change in subentry count.
+func (a *AccountEntry) setSigner(key AccountID, weight uint8) int {
+	for i, s := range a.Signers {
+		if s.Key == key {
+			if weight == 0 {
+				a.Signers = append(a.Signers[:i], a.Signers[i+1:]...)
+				return -1
+			}
+			a.Signers[i].Weight = weight
+			return 0
+		}
+	}
+	if weight == 0 {
+		return 0
+	}
+	a.Signers = append(a.Signers, Signer{Key: key, Weight: weight})
+	sort.Slice(a.Signers, func(i, j int) bool { return a.Signers[i].Key < a.Signers[j].Key })
+	return 1
+}
+
+// EncodeXDR writes the canonical encoding used in bucket hashing.
+func (a *AccountEntry) EncodeXDR(e *xdr.Encoder) {
+	e.PutString(string(a.ID))
+	e.PutInt64(a.Balance)
+	e.PutUint64(a.SeqNum)
+	e.PutUint32(uint32(a.Flags))
+	e.PutUint32(uint32(a.Thresholds.MasterWeight)<<24 |
+		uint32(a.Thresholds.Low)<<16 |
+		uint32(a.Thresholds.Medium)<<8 |
+		uint32(a.Thresholds.High))
+	e.PutUint32(uint32(len(a.Signers)))
+	for _, s := range a.Signers {
+		e.PutString(string(s.Key))
+		e.PutUint32(uint32(s.Weight))
+	}
+	e.PutUint32(a.NumSubEntries)
+	e.PutString(a.HomeDomain)
+}
+
+// TrustlineEntry tracks an account's holding of an issued asset: balance,
+// the limit above which the balance cannot rise, and the issuer-controlled
+// authorization flag (§5.1).
+type TrustlineEntry struct {
+	Account    AccountID
+	Asset      Asset
+	Balance    Amount
+	Limit      Amount
+	Authorized bool
+}
+
+func (t *TrustlineEntry) clone() *TrustlineEntry {
+	c := *t
+	return &c
+}
+
+// EncodeXDR writes the canonical encoding.
+func (t *TrustlineEntry) EncodeXDR(e *xdr.Encoder) {
+	e.PutString(string(t.Account))
+	t.Asset.EncodeXDR(e)
+	e.PutInt64(t.Balance)
+	e.PutInt64(t.Limit)
+	e.PutBool(t.Authorized)
+}
+
+// OfferEntry is a standing order on the built-in order book: the seller
+// offers up to Amount of Selling at Price (Buying per Selling), to be
+// matched and filled when prices cross (§5.1).
+type OfferEntry struct {
+	ID      uint64
+	Seller  AccountID
+	Selling Asset
+	Buying  Asset
+	Amount  Amount // remaining selling amount
+	Price   Price
+	// Passive offers do not consume offers at exactly their own price,
+	// allowing zero-spread market making (Figure 4, -PassiveOffer).
+	Passive bool
+}
+
+func (o *OfferEntry) clone() *OfferEntry {
+	c := *o
+	return &c
+}
+
+// EncodeXDR writes the canonical encoding.
+func (o *OfferEntry) EncodeXDR(e *xdr.Encoder) {
+	e.PutUint64(o.ID)
+	e.PutString(string(o.Seller))
+	o.Selling.EncodeXDR(e)
+	o.Buying.EncodeXDR(e)
+	e.PutInt64(o.Amount)
+	o.Price.EncodeXDR(e)
+	e.PutBool(o.Passive)
+}
+
+// DataEntry is an account-attached key/value pair for small metadata (§5.1).
+type DataEntry struct {
+	Account AccountID
+	Name    string
+	Value   []byte
+}
+
+func (d *DataEntry) clone() *DataEntry {
+	c := *d
+	c.Value = append([]byte(nil), d.Value...)
+	return &c
+}
+
+// EncodeXDR writes the canonical encoding.
+func (d *DataEntry) EncodeXDR(e *xdr.Encoder) {
+	e.PutString(string(d.Account))
+	e.PutString(d.Name)
+	e.PutBytes(d.Value)
+}
+
+// trustKey keys trustlines by account and asset.
+type trustKey struct {
+	account AccountID
+	asset   string
+}
+
+// dataKey keys data entries by account and name.
+type dataKey struct {
+	account AccountID
+	name    string
+}

@@ -1,0 +1,290 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Order-book crossing: offers are automatically matched and filled when
+// buy/sell prices cross (§5.1), and path payments atomically trade across
+// several currency pairs with an end-to-end limit (§1, §5.2).
+
+// Trading errors.
+var (
+	ErrNoTrustline   = errors.New("ledger: missing trustline")
+	ErrNotAuthorized = errors.New("ledger: trustline not authorized")
+	ErrLineFull      = errors.New("ledger: trustline limit exceeded")
+	ErrUnderfunded   = errors.New("ledger: insufficient balance")
+	ErrTooFewOffers  = errors.New("ledger: order book too thin")
+	ErrOverSendMax   = errors.New("ledger: path payment exceeds send max")
+	ErrCrossSelf     = errors.New("ledger: offer would cross own offer")
+)
+
+// canHold verifies acct can receive the asset (trustline exists, is
+// authorized, and has room for amount more). Issuers can always "hold"
+// their own asset (payments to the issuer redeem/burn it).
+func (s *State) canHold(acct AccountID, asset Asset, amount Amount) error {
+	if asset.IsNative() {
+		if !s.HasAccount(acct) {
+			return fmt.Errorf("%w: account %s does not exist", ErrNoTrustline, acct)
+		}
+		return nil
+	}
+	if acct == asset.Issuer {
+		return nil
+	}
+	t := s.Trustline(acct, asset)
+	if t == nil {
+		return fmt.Errorf("%w: %s lacks %s", ErrNoTrustline, acct, asset)
+	}
+	if !t.Authorized {
+		return fmt.Errorf("%w: %s on %s", ErrNotAuthorized, asset, acct)
+	}
+	if t.Balance > t.Limit-amount {
+		return fmt.Errorf("%w: %s on %s", ErrLineFull, asset, acct)
+	}
+	return nil
+}
+
+// credit increases acct's balance of asset (minting when acct issued it).
+func (s *State) credit(acct AccountID, asset Asset, amount Amount) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative credit")
+	}
+	if err := s.canHold(acct, asset, amount); err != nil {
+		return err
+	}
+	if asset.IsNative() {
+		a := s.mutateAccount(acct)
+		if a.Balance > MaxAmount-amount {
+			return fmt.Errorf("ledger: XLM balance overflow on %s", acct)
+		}
+		a.Balance += amount
+		return nil
+	}
+	if acct == asset.Issuer {
+		return nil // redeemed: supply shrinks implicitly
+	}
+	t := s.mutateTrustline(acct, asset)
+	t.Balance += amount
+	return nil
+}
+
+// debit decreases acct's balance of asset. For native XLM the balance may
+// not fall below the reserve; issuers have unlimited supply of their own
+// asset (payments from the issuer mint it).
+func (s *State) debit(acct AccountID, asset Asset, amount Amount) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative debit")
+	}
+	if asset.IsNative() {
+		a := s.mutateAccount(acct)
+		if a == nil {
+			return fmt.Errorf("%w: no account %s", ErrUnderfunded, acct)
+		}
+		if a.Balance-amount < s.MinBalance(a) {
+			return fmt.Errorf("%w: %s has %s, needs reserve %s",
+				ErrUnderfunded, acct, FormatAmount(a.Balance), FormatAmount(s.MinBalance(a)))
+		}
+		a.Balance -= amount
+		return nil
+	}
+	if acct == asset.Issuer {
+		return nil // minted
+	}
+	t := s.mutateTrustline(acct, asset)
+	if t == nil {
+		return fmt.Errorf("%w: %s lacks %s", ErrNoTrustline, acct, asset)
+	}
+	if !t.Authorized {
+		return fmt.Errorf("%w: %s on %s", ErrNotAuthorized, asset, acct)
+	}
+	if t.Balance < amount {
+		return fmt.Errorf("%w: %s has %s %s", ErrUnderfunded, acct, FormatAmount(t.Balance), asset)
+	}
+	t.Balance -= amount
+	return nil
+}
+
+// fill executes a partial or complete fill of an offer: the offer's seller
+// delivers `sold` of offer.Selling and receives `paid` of offer.Buying.
+// The counterparty's balances are adjusted by the caller.
+func (s *State) fill(offerID uint64, sold, paid Amount) error {
+	o := s.mutateOffer(offerID)
+	if o == nil {
+		return fmt.Errorf("ledger: offer %d vanished", offerID)
+	}
+	if sold > o.Amount {
+		return fmt.Errorf("ledger: fill %d exceeds offer amount %d", sold, o.Amount)
+	}
+	if err := s.debit(o.Seller, o.Selling, sold); err != nil {
+		return err
+	}
+	if err := s.credit(o.Seller, o.Buying, paid); err != nil {
+		return err
+	}
+	o.Amount -= sold
+	if o.Amount == 0 {
+		seller := o.Seller
+		s.deleteOffer(offerID)
+		if err := s.adjustSubEntries(seller, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buyFromBook purchases exactly `want` of asset `get`, paying with asset
+// `give`, by consuming the (get, give) order book best-price-first. It
+// adjusts the offer owners' balances and returns the total amount of
+// `give` paid. The taker's own balances are NOT adjusted (callers settle
+// the ends of a path atomically). forbidSeller guards against an account
+// crossing its own offers.
+func (s *State) buyFromBook(get, give Asset, want Amount, forbidSeller AccountID, priceLimit *Price) (paid Amount, err error) {
+	if want <= 0 {
+		return 0, fmt.Errorf("ledger: non-positive buy amount")
+	}
+	remaining := want
+	for remaining > 0 {
+		book := s.OffersBook(get, give) // offers selling `get` for `give`
+		if len(book) == 0 {
+			return 0, fmt.Errorf("%w: no offers selling %s for %s", ErrTooFewOffers, get, give)
+		}
+		o := book[0]
+		if o.Seller == forbidSeller {
+			return 0, fmt.Errorf("%w: offer %d", ErrCrossSelf, o.ID)
+		}
+		if priceLimit != nil && o.Price.Cmp(*priceLimit) > 0 {
+			return 0, fmt.Errorf("%w: best price %s above limit %s", ErrTooFewOffers, o.Price, priceLimit)
+		}
+		take := o.Amount
+		if take > remaining {
+			take = remaining
+		}
+		cost, err := o.Price.MulCeil(take)
+		if err != nil {
+			return 0, err
+		}
+		if cost == 0 && take > 0 {
+			cost = 1 // never trade for free
+		}
+		if err := s.fill(o.ID, take, cost); err != nil {
+			return 0, err
+		}
+		if paid > MaxAmount-cost {
+			return 0, fmt.Errorf("ledger: path cost overflow")
+		}
+		paid += cost
+		remaining -= take
+	}
+	return paid, nil
+}
+
+// pathPay executes the §5.2 PathPayment: deliver exactly destAmount of
+// destAsset to dest, sourced from source's sendAsset through up to
+// len(path) intermediate order books, failing if more than sendMax of
+// sendAsset would be consumed. All balance effects are journaled by the
+// caller's transaction scope, so failure is atomic.
+func (s *State) pathPay(source AccountID, sendAsset Asset, sendMax Amount,
+	dest AccountID, destAsset Asset, destAmount Amount, path []Asset) (sent Amount, err error) {
+
+	if destAmount <= 0 || sendMax <= 0 {
+		return 0, fmt.Errorf("ledger: non-positive path payment amounts")
+	}
+	// Full asset chain from send to dest.
+	chain := make([]Asset, 0, len(path)+2)
+	chain = append(chain, sendAsset)
+	chain = append(chain, path...)
+	chain = append(chain, destAsset)
+
+	// The destination must be able to receive before we move anything.
+	if err := s.canHold(dest, destAsset, destAmount); err != nil {
+		return 0, err
+	}
+
+	// Work backward: to deliver need[i+1] of chain[i+1], buy it from the
+	// (chain[i+1], chain[i]) book, which tells us how much chain[i] we
+	// need. Adjacent equal assets convert one-for-one without a book.
+	need := destAmount
+	for i := len(chain) - 2; i >= 0; i-- {
+		from, to := chain[i], chain[i+1]
+		if from.Equal(to) {
+			continue
+		}
+		paid, err := s.buyFromBook(to, from, need, source, nil)
+		if err != nil {
+			return 0, err
+		}
+		need = paid
+	}
+	if need > sendMax {
+		return 0, fmt.Errorf("%w: needs %s, max %s", ErrOverSendMax,
+			FormatAmount(need), FormatAmount(sendMax))
+	}
+	// Settle the two ends: source pays sendAsset, dest receives destAsset.
+	if err := s.debit(source, sendAsset, need); err != nil {
+		return 0, err
+	}
+	if err := s.credit(dest, destAsset, destAmount); err != nil {
+		return 0, err
+	}
+	return need, nil
+}
+
+// crossOffer attempts to cross a new offer (sell `selling` for `buying` at
+// `price`) against the opposing book, returning the amount of selling
+// remaining after crossing. Passive offers do not take opposing offers at
+// exactly the reciprocal price (§5.1, Figure 4).
+func (s *State) crossOffer(seller AccountID, selling, buying Asset, amount Amount, price Price, passive bool) (Amount, error) {
+	remaining := amount
+	for remaining > 0 {
+		book := s.OffersBook(buying, selling) // opposing offers
+		if len(book) == 0 {
+			break
+		}
+		o := book[0]
+		// Cross when the opposing price is at or below our reciprocal:
+		// o sells `buying` at o.Price units of `selling` per unit; we
+		// are willing to pay up to D/N of selling per buying.
+		cmp := o.Price.Cmp(price.Inverse())
+		if cmp > 0 || (cmp == 0 && (passive || o.Passive)) {
+			break
+		}
+		if o.Seller == seller {
+			return 0, fmt.Errorf("%w: offer %d", ErrCrossSelf, o.ID)
+		}
+		// How much of `buying` can we afford with `remaining` selling at
+		// the maker's price? maker: buyAmount costs buyAmount*o.Price of
+		// selling.
+		affordable, err := o.Price.Inverse().MulFloor(remaining)
+		if err != nil {
+			return 0, err
+		}
+		take := o.Amount
+		if take > affordable {
+			take = affordable
+		}
+		if take == 0 {
+			break // remaining too small to buy anything at this price
+		}
+		cost, err := o.Price.MulCeil(take)
+		if err != nil {
+			return 0, err
+		}
+		if cost > remaining {
+			break
+		}
+		if err := s.fill(o.ID, take, cost); err != nil {
+			return 0, err
+		}
+		// Settle the taker's side immediately.
+		if err := s.debit(seller, selling, cost); err != nil {
+			return 0, err
+		}
+		if err := s.credit(seller, buying, take); err != nil {
+			return 0, err
+		}
+		remaining -= cost
+	}
+	return remaining, nil
+}

@@ -1,0 +1,325 @@
+package ledger
+
+import (
+	"testing"
+)
+
+// marketFixture sets up an issuer, two traders with USD and EUR
+// trustlines, and balances for order-book tests.
+type marketFixture struct {
+	*testChain
+	issuer   AccountID
+	mm       AccountID // market maker
+	taker    AccountID
+	usd, eur Asset
+}
+
+func newMarket(t *testing.T) *marketFixture {
+	c := newTestChain(t)
+	m := &marketFixture{testChain: c}
+	m.issuer = c.fund("mkt-issuer", 1000*One)
+	m.mm = c.fund("mkt-mm", 1000*One)
+	m.taker = c.fund("mkt-taker", 1000*One)
+	m.usd = MustAsset("USD", m.issuer)
+	m.eur = MustAsset("EUR", m.issuer)
+	for _, acct := range []AccountID{m.mm, m.taker} {
+		c.mustOK(c.tx(acct, Operation{Body: &ChangeTrust{Asset: m.usd, Limit: 1_000_000 * One}}))
+		c.mustOK(c.tx(acct, Operation{Body: &ChangeTrust{Asset: m.eur, Limit: 1_000_000 * One}}))
+	}
+	// Issue working capital.
+	c.mustOK(c.tx(m.issuer,
+		Operation{Body: &Payment{Destination: m.mm, Asset: m.usd, Amount: 500 * One}},
+		Operation{Body: &Payment{Destination: m.mm, Asset: m.eur, Amount: 500 * One}},
+		Operation{Body: &Payment{Destination: m.taker, Asset: m.usd, Amount: 500 * One}},
+	))
+	return m
+}
+
+func TestManageOfferCreatesEntry(t *testing.T) {
+	m := newMarket(t)
+	// MM sells 100 EUR for USD at 1.25 USD per EUR.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(5, 4),
+	}}))
+	book := m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 1 || book[0].Amount != 100*One {
+		t.Fatalf("book = %+v", book)
+	}
+	if m.st.Account(m.mm).NumSubEntries == 0 {
+		t.Fatal("offer did not consume a subentry")
+	}
+}
+
+func TestOfferCrossingFullFill(t *testing.T) {
+	m := newMarket(t)
+	// MM sells 100 EUR at 1.25 USD/EUR.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(5, 4),
+	}}))
+	// Taker sells 125 USD for EUR at 0.8 EUR/USD (the reciprocal), which
+	// crosses: taker gets 100 EUR, MM gets 125 USD.
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 125 * One, Price: MustPrice(4, 5),
+	}}))
+	if got := m.st.BalanceOf(m.taker, m.eur); got != 100*One {
+		t.Fatalf("taker EUR = %s", FormatAmount(got))
+	}
+	if got := m.st.BalanceOf(m.mm, m.usd); got != 625*One {
+		t.Fatalf("mm USD = %s", FormatAmount(got))
+	}
+	// The maker's offer is fully consumed; no residual taker offer should
+	// remain either (exact cross).
+	if n := m.st.NumOffers(); n != 0 {
+		t.Fatalf("offers remaining = %d", n)
+	}
+}
+
+func TestOfferCrossingPartialFill(t *testing.T) {
+	m := newMarket(t)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(1, 1),
+	}}))
+	// Taker only wants 40 EUR worth.
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 40 * One, Price: MustPrice(1, 1),
+	}}))
+	book := m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 1 || book[0].Amount != 60*One {
+		t.Fatalf("maker remainder wrong: %+v", book)
+	}
+	if got := m.st.BalanceOf(m.taker, m.eur); got != 40*One {
+		t.Fatalf("taker EUR = %s", FormatAmount(got))
+	}
+}
+
+func TestOfferNoCrossRestsOnBook(t *testing.T) {
+	m := newMarket(t)
+	// MM asks 2 USD per EUR; taker bids only 0.4 EUR per USD (i.e. 2.5
+	// USD per EUR needed to cross... taker offers too little). No trade.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(2, 1),
+	}}))
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 100 * One, Price: MustPrice(1, 1),
+	}}))
+	if n := m.st.NumOffers(); n != 2 {
+		t.Fatalf("expected both offers resting, got %d", n)
+	}
+}
+
+func TestBestPriceFirst(t *testing.T) {
+	m := newMarket(t)
+	// Two maker offers at different prices.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 50 * One, Price: MustPrice(2, 1),
+	}}))
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 50 * One, Price: MustPrice(1, 1),
+	}}))
+	book := m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 2 || book[0].Price.Cmp(book[1].Price) >= 0 {
+		t.Fatalf("book not price sorted: %v then %v", book[0].Price, book[1].Price)
+	}
+	// Taker buys 50 EUR: should consume the cheap offer entirely.
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 50 * One, Price: MustPrice(1, 1),
+	}}))
+	book = m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 1 || book[0].Price.Cmp(MustPrice(2, 1)) != 0 {
+		t.Fatalf("cheap offer not consumed first: %+v", book)
+	}
+}
+
+func TestPassiveOfferDoesNotCrossEqualPrice(t *testing.T) {
+	m := newMarket(t)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(1, 1),
+	}}))
+	// Passive offer at exactly the reciprocal price: rests, zero spread.
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 100 * One, Price: MustPrice(1, 1), Passive: true,
+	}}))
+	if n := m.st.NumOffers(); n != 2 {
+		t.Fatalf("passive offer crossed at equal price (offers=%d)", n)
+	}
+}
+
+func TestManageOfferDeleteAndModify(t *testing.T) {
+	m := newMarket(t)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(1, 1),
+	}}))
+	id := m.st.OffersBook(m.eur, m.usd)[0].ID
+	// Modify to a new amount.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		OfferID: id, Selling: m.eur, Buying: m.usd, Amount: 30 * One, Price: MustPrice(1, 1),
+	}}))
+	book := m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 1 || book[0].Amount != 30*One {
+		t.Fatalf("modify failed: %+v", book)
+	}
+	// Delete.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		OfferID: book[0].ID, Selling: m.eur, Buying: m.usd, Amount: 0, Price: MustPrice(1, 1),
+	}}))
+	if m.st.NumOffers() != 0 {
+		t.Fatal("delete failed")
+	}
+	// Deleting someone else's offer fails.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 10 * One, Price: MustPrice(1, 1),
+	}}))
+	id = m.st.OffersBook(m.eur, m.usd)[0].ID
+	res := m.tx(m.taker, Operation{Body: &ManageOffer{
+		OfferID: id, Selling: m.eur, Buying: m.usd, Amount: 0, Price: MustPrice(1, 1),
+	}})
+	if res.Success {
+		t.Fatal("deleted another account's offer")
+	}
+}
+
+func TestOfferRequiresFunds(t *testing.T) {
+	m := newMarket(t)
+	// Taker holds 500 USD; offering 600 fails.
+	res := m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 600 * One, Price: MustPrice(1, 1),
+	}})
+	if res.Success {
+		t.Fatal("underfunded offer accepted")
+	}
+}
+
+func TestPathPaymentDirect(t *testing.T) {
+	// Send USD, deliver EUR through the USD/EUR book (no intermediates):
+	// the §7.1 "send $0.50 to Mexico in 5 seconds" flow.
+	m := newMarket(t)
+	// MM makes a market: sells EUR for USD at 1.25.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 200 * One, Price: MustPrice(5, 4),
+	}}))
+	dest := m.fund("pp-dest", 10*One)
+	m.mustOK(m.tx(dest, Operation{Body: &ChangeTrust{Asset: m.eur, Limit: 1000 * One}}))
+
+	usdBefore := m.st.BalanceOf(m.taker, m.usd)
+	m.mustOK(m.tx(m.taker, Operation{Body: &PathPayment{
+		SendAsset: m.usd, SendMax: 130 * One,
+		Destination: dest, DestAsset: m.eur, DestAmount: 100 * One,
+	}}))
+	if got := m.st.BalanceOf(dest, m.eur); got != 100*One {
+		t.Fatalf("dest EUR = %s", FormatAmount(got))
+	}
+	spent := usdBefore - m.st.BalanceOf(m.taker, m.usd)
+	if spent != 125*One {
+		t.Fatalf("taker spent %s USD, want 125", FormatAmount(spent))
+	}
+}
+
+func TestPathPaymentRespectsSendMax(t *testing.T) {
+	m := newMarket(t)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 200 * One, Price: MustPrice(5, 4),
+	}}))
+	dest := m.fund("pp-dest2", 10*One)
+	m.mustOK(m.tx(dest, Operation{Body: &ChangeTrust{Asset: m.eur, Limit: 1000 * One}}))
+	res := m.tx(m.taker, Operation{Body: &PathPayment{
+		SendAsset: m.usd, SendMax: 120 * One, // needs 125
+		Destination: dest, DestAsset: m.eur, DestAmount: 100 * One,
+	}})
+	if res.Success {
+		t.Fatal("path payment exceeded sendMax")
+	}
+	// Atomicity: the partially-crossed offers were restored.
+	book := m.st.OffersBook(m.eur, m.usd)
+	if len(book) != 1 || book[0].Amount != 200*One {
+		t.Fatalf("book not restored after failed path payment: %+v", book)
+	}
+}
+
+func TestPathPaymentMultiHop(t *testing.T) {
+	// USD → XLM → EUR through two books (one intermediary asset).
+	m := newMarket(t)
+	// MM sells XLM for USD at 2 USD/XLM, and EUR for XLM at 1 XLM/EUR.
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: NativeAsset(), Buying: m.usd, Amount: 300 * One, Price: MustPrice(2, 1),
+	}}))
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: NativeAsset(), Amount: 300 * One, Price: MustPrice(1, 1),
+	}}))
+	dest := m.fund("pp-dest3", 10*One)
+	m.mustOK(m.tx(dest, Operation{Body: &ChangeTrust{Asset: m.eur, Limit: 1000 * One}}))
+
+	m.mustOK(m.tx(m.taker, Operation{Body: &PathPayment{
+		SendAsset: m.usd, SendMax: 250 * One,
+		Destination: dest, DestAsset: m.eur, DestAmount: 100 * One,
+		Path: []Asset{NativeAsset()},
+	}}))
+	// 100 EUR costs 100 XLM, costs 200 USD.
+	if got := m.st.BalanceOf(dest, m.eur); got != 100*One {
+		t.Fatalf("dest EUR = %s", FormatAmount(got))
+	}
+}
+
+func TestPathPaymentThinBookFails(t *testing.T) {
+	m := newMarket(t)
+	dest := m.fund("pp-dest4", 10*One)
+	m.mustOK(m.tx(dest, Operation{Body: &ChangeTrust{Asset: m.eur, Limit: 1000 * One}}))
+	res := m.tx(m.taker, Operation{Body: &PathPayment{
+		SendAsset: m.usd, SendMax: 1000 * One,
+		Destination: dest, DestAsset: m.eur, DestAmount: 100 * One,
+	}})
+	if res.Success {
+		t.Fatal("path payment through empty book succeeded")
+	}
+}
+
+func TestPathPaymentSameAsset(t *testing.T) {
+	// Degenerate path: send and dest asset equal — behaves like Payment.
+	m := newMarket(t)
+	dest := m.fund("pp-dest5", 10*One)
+	m.mustOK(m.tx(dest, Operation{Body: &ChangeTrust{Asset: m.usd, Limit: 1000 * One}}))
+	m.mustOK(m.tx(m.taker, Operation{Body: &PathPayment{
+		SendAsset: m.usd, SendMax: 50 * One,
+		Destination: dest, DestAsset: m.usd, DestAmount: 50 * One,
+	}}))
+	if got := m.st.BalanceOf(dest, m.usd); got != 50*One {
+		t.Fatalf("dest USD = %s", FormatAmount(got))
+	}
+}
+
+func TestCrossOwnOfferForbidden(t *testing.T) {
+	m := newMarket(t)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(1, 1),
+	}}))
+	res := m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 100 * One, Price: MustPrice(1, 1),
+	}})
+	if res.Success {
+		t.Fatal("account crossed its own offer")
+	}
+}
+
+func TestAssetConservation(t *testing.T) {
+	// Issued-asset totals are conserved across arbitrary trades: the sum
+	// of all trustline balances only changes via issuer mint/redeem.
+	m := newMarket(t)
+	total := func(asset Asset) Amount {
+		var sum Amount
+		for _, acct := range []AccountID{m.mm, m.taker} {
+			sum += m.st.BalanceOf(acct, asset)
+		}
+		return sum
+	}
+	usdBefore, eurBefore := total(m.usd), total(m.eur)
+	m.mustOK(m.tx(m.mm, Operation{Body: &ManageOffer{
+		Selling: m.eur, Buying: m.usd, Amount: 100 * One, Price: MustPrice(7, 5),
+	}}))
+	m.mustOK(m.tx(m.taker, Operation{Body: &ManageOffer{
+		Selling: m.usd, Buying: m.eur, Amount: 70 * One, Price: MustPrice(5, 7),
+	}}))
+	if total(m.usd) != usdBefore || total(m.eur) != eurBefore {
+		t.Fatalf("assets not conserved: USD %s→%s EUR %s→%s",
+			FormatAmount(usdBefore), FormatAmount(total(m.usd)),
+			FormatAmount(eurBefore), FormatAmount(total(m.eur)))
+	}
+}

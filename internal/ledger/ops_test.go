@@ -1,0 +1,483 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+
+	"stellar/internal/stellarcrypto"
+)
+
+// testChain is a small fixture: a genesis ledger with a master account and
+// helpers to build and apply signed transactions.
+type testChain struct {
+	t         *testing.T
+	st        *State
+	networkID stellarcrypto.Hash
+	keys      map[AccountID]stellarcrypto.KeyPair
+	master    AccountID
+	env       ApplyEnv
+}
+
+func newTestChain(t *testing.T) *testChain {
+	t.Helper()
+	kp := stellarcrypto.KeyPairFromString("master")
+	master := AccountIDFromPublicKey(kp.Public)
+	c := &testChain{
+		t:         t,
+		networkID: stellarcrypto.HashBytes([]byte("ledger test network")),
+		keys:      map[AccountID]stellarcrypto.KeyPair{master: kp},
+		master:    master,
+		env:       ApplyEnv{LedgerSeq: 2, CloseTime: 1_000_000},
+	}
+	c.st = NewGenesisState(master)
+	return c
+}
+
+// key registers (or returns) a deterministic keypair by label.
+func (c *testChain) key(label string) (AccountID, stellarcrypto.KeyPair) {
+	kp := stellarcrypto.KeyPairFromString(label)
+	id := AccountIDFromPublicKey(kp.Public)
+	c.keys[id] = kp
+	return id, kp
+}
+
+// tx builds, signs (by the sources' registered keys) and applies a
+// transaction; it returns the result.
+func (c *testChain) tx(source AccountID, ops ...Operation) TxResult {
+	c.t.Helper()
+	src := c.st.Account(source)
+	if src == nil {
+		c.t.Fatalf("tx source %s missing", source)
+	}
+	tx := &Transaction{
+		Source:     source,
+		Fee:        c.st.MinFee(&Transaction{Operations: ops}),
+		SeqNum:     src.SeqNum + 1,
+		Operations: ops,
+	}
+	signers := map[AccountID]bool{source: true}
+	for _, op := range ops {
+		if op.Source != "" {
+			signers[op.Source] = true
+		}
+	}
+	for id := range signers {
+		kp, ok := c.keys[id]
+		if !ok {
+			c.t.Fatalf("no key registered for %s", id)
+		}
+		tx.Sign(c.networkID, kp)
+	}
+	return c.st.ApplyTransaction(tx, c.networkID, &c.env)
+}
+
+// mustOK asserts the transaction succeeded.
+func (c *testChain) mustOK(res TxResult) {
+	c.t.Helper()
+	if !res.Success {
+		c.t.Fatalf("tx failed: err=%q opErrors=%v", res.Err, res.OpErrors)
+	}
+}
+
+// fund creates an account with the given XLM balance.
+func (c *testChain) fund(label string, xlm Amount) AccountID {
+	c.t.Helper()
+	id, _ := c.key(label)
+	c.mustOK(c.tx(c.master, Operation{Body: &CreateAccount{Destination: id, StartingBalance: xlm}}))
+	return id
+}
+
+func TestCreateAccount(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("alice", 100*One)
+	a := c.st.Account(alice)
+	if a == nil || a.Balance != 100*One {
+		t.Fatalf("account not created correctly: %+v", a)
+	}
+	// Sequence number embeds the ledger number in the high bits (§5.2).
+	if a.SeqNum != uint64(c.env.LedgerSeq)<<32 {
+		t.Fatalf("initial seq = %d", a.SeqNum)
+	}
+}
+
+func TestCreateAccountFailures(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("alice", 100*One)
+	// Duplicate.
+	res := c.tx(c.master, Operation{Body: &CreateAccount{Destination: alice, StartingBalance: 10 * One}})
+	if res.Success {
+		t.Fatal("duplicate account created")
+	}
+	// Below reserve.
+	bob, _ := c.key("bob")
+	res = c.tx(c.master, Operation{Body: &CreateAccount{Destination: bob, StartingBalance: 1}})
+	if res.Success {
+		t.Fatal("under-reserve account created")
+	}
+}
+
+func TestNativePayment(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("alice", 100*One)
+	bob := c.fund("bob", 10*One)
+	c.mustOK(c.tx(alice, Operation{Body: &Payment{Destination: bob, Asset: NativeAsset(), Amount: 5 * One}}))
+	if got := c.st.BalanceOf(bob, NativeAsset()); got != 15*One {
+		t.Fatalf("bob balance = %s", FormatAmount(got))
+	}
+}
+
+func TestPaymentRespectsReserve(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("alice", 2*One) // 2 XLM, reserve needs 1 XLM (2 × 0.5)
+	bob := c.fund("bob", 10*One)
+	// Paying 1.5 XLM would leave less than reserve (minus fee too).
+	res := c.tx(alice, Operation{Body: &Payment{Destination: bob, Asset: NativeAsset(), Amount: 15 * One / 10}})
+	if res.Success {
+		t.Fatal("payment below reserve succeeded")
+	}
+	// Fee and sequence were still consumed (§5.2).
+	if res.FeeCharged == 0 {
+		t.Fatal("failed tx charged no fee")
+	}
+	a := c.st.Account(alice)
+	if a.SeqNum == uint64(c.env.LedgerSeq)<<32 {
+		t.Fatal("failed tx did not bump sequence")
+	}
+}
+
+func TestIssuedAssetLifecycle(t *testing.T) {
+	c := newTestChain(t)
+	issuer := c.fund("issuer", 100*One)
+	alice := c.fund("alice2", 100*One)
+	usd := MustAsset("USD", issuer)
+
+	// Alice cannot receive USD without a trustline.
+	res := c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: 50 * One}})
+	if res.Success {
+		t.Fatal("payment without trustline succeeded")
+	}
+
+	// Trustline, then issue.
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 1000 * One}}))
+	c.mustOK(c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: 50 * One}}))
+	if got := c.st.BalanceOf(alice, usd); got != 50*One {
+		t.Fatalf("alice USD = %s", FormatAmount(got))
+	}
+
+	// Limit enforcement.
+	res = c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: 951 * One}})
+	if res.Success {
+		t.Fatal("payment above trustline limit succeeded")
+	}
+
+	// Redeem: paying the issuer burns.
+	c.mustOK(c.tx(alice, Operation{Body: &Payment{Destination: issuer, Asset: usd, Amount: 20 * One}}))
+	if got := c.st.BalanceOf(alice, usd); got != 30*One {
+		t.Fatalf("alice USD after redeem = %s", FormatAmount(got))
+	}
+}
+
+func TestChangeTrustDelete(t *testing.T) {
+	c := newTestChain(t)
+	issuer := c.fund("issuer3", 100*One)
+	alice := c.fund("alice3", 100*One)
+	usd := MustAsset("USD", issuer)
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 100 * One}}))
+	subBefore := c.st.Account(alice).NumSubEntries
+	c.mustOK(c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: One}}))
+	// Nonzero balance: deletion must fail.
+	res := c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 0}})
+	if res.Success {
+		t.Fatal("deleted trustline with balance")
+	}
+	c.mustOK(c.tx(alice, Operation{Body: &Payment{Destination: issuer, Asset: usd, Amount: One}}))
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 0}}))
+	if c.st.Trustline(alice, usd) != nil {
+		t.Fatal("trustline survived deletion")
+	}
+	if c.st.Account(alice).NumSubEntries != subBefore-1 {
+		t.Fatal("subentry count not restored")
+	}
+}
+
+func TestAuthRequiredFlow(t *testing.T) {
+	c := newTestChain(t)
+	issuer := c.fund("kyc-issuer", 100*One)
+	alice := c.fund("kyc-alice", 100*One)
+	usd := MustAsset("USD", issuer)
+
+	// Issuer requires authorization (§5.1 KYC).
+	c.mustOK(c.tx(issuer, Operation{Body: &SetOptions{SetFlags: FlagAuthRequired | FlagAuthRevocable}}))
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 100 * One}}))
+
+	// Unauthorized: payment fails.
+	res := c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: One}})
+	if res.Success {
+		t.Fatal("payment to unauthorized trustline succeeded")
+	}
+
+	// Issuer authorizes, payment works.
+	c.mustOK(c.tx(issuer, Operation{Body: &AllowTrust{Trustor: alice, AssetCode: "USD", Authorize: true}}))
+	c.mustOK(c.tx(issuer, Operation{Body: &Payment{Destination: alice, Asset: usd, Amount: One}}))
+
+	// Revocation freezes the asset.
+	c.mustOK(c.tx(issuer, Operation{Body: &AllowTrust{Trustor: alice, AssetCode: "USD", Authorize: false}}))
+	res = c.tx(alice, Operation{Body: &Payment{Destination: issuer, Asset: usd, Amount: One}})
+	if res.Success {
+		t.Fatal("payment from frozen trustline succeeded")
+	}
+}
+
+func TestAllowTrustOnlyIssuer(t *testing.T) {
+	c := newTestChain(t)
+	issuer := c.fund("at-issuer", 100*One)
+	mallory := c.fund("at-mallory", 100*One)
+	alice := c.fund("at-alice", 100*One)
+	usd := MustAsset("USD", issuer)
+	c.mustOK(c.tx(issuer, Operation{Body: &SetOptions{SetFlags: FlagAuthRequired}}))
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: 100 * One}}))
+	// Mallory "authorizes" USD — but the asset would be USD:mallory, and
+	// alice has no such trustline.
+	res := c.tx(mallory, Operation{Body: &AllowTrust{Trustor: alice, AssetCode: "USD", Authorize: true}})
+	if res.Success {
+		t.Fatal("non-issuer authorized a trustline")
+	}
+}
+
+func TestAccountMerge(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("merge-alice", 50*One)
+	bob := c.fund("merge-bob", 10*One)
+	bobBefore := c.st.BalanceOf(bob, NativeAsset())
+	aliceBal := c.st.BalanceOf(alice, NativeAsset())
+	res := c.tx(alice, Operation{Body: &AccountMerge{Destination: bob}})
+	c.mustOK(res)
+	if c.st.HasAccount(alice) {
+		t.Fatal("merged account still exists")
+	}
+	// Bob received alice's balance minus the merge tx fee.
+	want := bobBefore + aliceBal - res.FeeCharged
+	if got := c.st.BalanceOf(bob, NativeAsset()); got != want {
+		t.Fatalf("bob = %s, want %s", FormatAmount(got), FormatAmount(want))
+	}
+}
+
+func TestAccountMergeBlockedBySubentries(t *testing.T) {
+	c := newTestChain(t)
+	issuer := c.fund("mi", 100*One)
+	alice := c.fund("ma", 50*One)
+	usd := MustAsset("USD", issuer)
+	c.mustOK(c.tx(alice, Operation{Body: &ChangeTrust{Asset: usd, Limit: One}}))
+	res := c.tx(alice, Operation{Body: &AccountMerge{Destination: issuer}})
+	if res.Success {
+		t.Fatal("merged account with live trustline")
+	}
+}
+
+func TestManageData(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("data-alice", 100*One)
+	c.mustOK(c.tx(alice, Operation{Body: &ManageData{Name: "config", Value: []byte("v1")}}))
+	if d := c.st.Data(alice, "config"); d == nil || string(d.Value) != "v1" {
+		t.Fatal("data entry missing")
+	}
+	c.mustOK(c.tx(alice, Operation{Body: &ManageData{Name: "config", Value: []byte("v2")}}))
+	if string(c.st.Data(alice, "config").Value) != "v2" {
+		t.Fatal("data entry not updated")
+	}
+	c.mustOK(c.tx(alice, Operation{Body: &ManageData{Name: "config"}}))
+	if c.st.Data(alice, "config") != nil {
+		t.Fatal("data entry not deleted")
+	}
+}
+
+func TestBumpSequence(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("bump-alice", 100*One)
+	cur := c.st.Account(alice).SeqNum
+	c.mustOK(c.tx(alice, Operation{Body: &BumpSequence{BumpTo: cur + 100}}))
+	if got := c.st.Account(alice).SeqNum; got != cur+100 {
+		t.Fatalf("seq = %d, want %d", got, cur+100)
+	}
+	// Bumping backwards is a no-op, not an error; the transaction itself
+	// still advances the sequence by one.
+	c.mustOK(c.tx(alice, Operation{Body: &BumpSequence{BumpTo: 1}}))
+	if got := c.st.Account(alice).SeqNum; got != cur+101 {
+		t.Fatalf("seq after no-op bump = %d", got)
+	}
+}
+
+func TestMultisigEscrow(t *testing.T) {
+	// The §5.2 land-deal scenario: one transaction, operations from two
+	// different source accounts, both must sign.
+	c := newTestChain(t)
+	alice := c.fund("esc-alice", 100*One)
+	bob := c.fund("esc-bob", 100*One)
+
+	ops := []Operation{
+		{Source: alice, Body: &Payment{Destination: bob, Asset: NativeAsset(), Amount: 10 * One}},
+		{Source: bob, Body: &Payment{Destination: alice, Asset: NativeAsset(), Amount: 4 * One}},
+	}
+	// Missing bob's signature: fails.
+	src := c.st.Account(alice)
+	tx := &Transaction{Source: alice, Fee: 2 * DefaultBaseFee, SeqNum: src.SeqNum + 1, Operations: ops}
+	tx.Sign(c.networkID, c.keys[alice])
+	res := c.st.ApplyTransaction(tx, c.networkID, &c.env)
+	if res.Err == "" {
+		t.Fatal("tx without bob's signature accepted")
+	}
+	// Both signatures: succeeds atomically.
+	tx = &Transaction{Source: alice, Fee: 2 * DefaultBaseFee, SeqNum: src.SeqNum + 1, Operations: ops}
+	tx.Sign(c.networkID, c.keys[alice])
+	tx.Sign(c.networkID, c.keys[bob])
+	res = c.st.ApplyTransaction(tx, c.networkID, &c.env)
+	if !res.Success {
+		t.Fatalf("escrow tx failed: %q %v", res.Err, res.OpErrors)
+	}
+}
+
+func TestSetOptionsSignersAndThresholds(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("so-alice", 100*One)
+	cosigner, coKP := c.key("so-cosigner")
+	w := uint8(1)
+	hi := uint8(2)
+	// Add a signer and require weight 2 for high-security ops.
+	c.mustOK(c.tx(alice, Operation{Body: &SetOptions{
+		Signer:        &Signer{Key: cosigner, Weight: w},
+		HighThreshold: &hi,
+		MedThreshold:  &w,
+	}}))
+	a := c.st.Account(alice)
+	if len(a.Signers) != 1 || a.NumSubEntries == 0 {
+		t.Fatalf("signer not added: %+v", a)
+	}
+
+	// A high-threshold op (SetOptions) now needs both signatures.
+	src := c.st.Account(alice)
+	newHi := uint8(1)
+	tx := &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &SetOptions{HighThreshold: &newHi}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	res := c.st.ApplyTransaction(tx, c.networkID, &c.env)
+	if res.Err == "" {
+		t.Fatal("single signature met weight-2 high threshold")
+	}
+	tx = &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &SetOptions{HighThreshold: &newHi}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	tx.Sign(c.networkID, coKP)
+	res = c.st.ApplyTransaction(tx, c.networkID, &c.env)
+	if !res.Success {
+		t.Fatalf("two-signature high op failed: %q %v", res.Err, res.OpErrors)
+	}
+
+	// A medium op (payment) passes with just the cosigner once master is
+	// deauthorized (§5.1: "deauthorize the key that names the account").
+	zero := uint8(0)
+	src = c.st.Account(alice)
+	tx = &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &SetOptions{MasterWeight: &zero}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	tx.Sign(c.networkID, coKP)
+	c.mustOK(c.st.ApplyTransaction(tx, c.networkID, &c.env))
+	src = c.st.Account(alice)
+	tx = &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &Payment{Destination: c.master, Asset: NativeAsset(), Amount: One}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice]) // master key now weight 0
+	res = c.st.ApplyTransaction(tx, c.networkID, &c.env)
+	if res.Err == "" {
+		t.Fatal("deauthorized master key still signs")
+	}
+}
+
+func TestTransactionAtomicity(t *testing.T) {
+	// §5.2: if any operation fails, none execute.
+	c := newTestChain(t)
+	alice := c.fund("atom-alice", 100*One)
+	bob := c.fund("atom-bob", 10*One)
+	bobBefore := c.st.BalanceOf(bob, NativeAsset())
+	res := c.tx(alice,
+		Operation{Body: &Payment{Destination: bob, Asset: NativeAsset(), Amount: 5 * One}},
+		Operation{Body: &Payment{Destination: bob, Asset: NativeAsset(), Amount: 1000 * One}}, // fails
+	)
+	if res.Success {
+		t.Fatal("overdraft tx succeeded")
+	}
+	if got := c.st.BalanceOf(bob, NativeAsset()); got != bobBefore {
+		t.Fatalf("partial effects leaked: bob = %s", FormatAmount(got))
+	}
+	if len(res.OpErrors) == 0 || !strings.Contains(res.OpErrors[0], "op 1") {
+		t.Fatalf("op errors = %v", res.OpErrors)
+	}
+}
+
+func TestSequenceAndReplay(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("seq-alice", 100*One)
+	src := c.st.Account(alice)
+	tx := &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &Payment{Destination: c.master, Asset: NativeAsset(), Amount: One}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	if res := c.st.ApplyTransaction(tx, c.networkID, &c.env); !res.Success {
+		t.Fatalf("first apply failed: %q", res.Err)
+	}
+	// Replaying the identical transaction must fail on sequence.
+	if res := c.st.ApplyTransaction(tx, c.networkID, &c.env); res.Err == "" {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestTimeBounds(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("tb-alice", 100*One)
+	src := c.st.Account(alice)
+	tx := &Transaction{
+		Source: alice, Fee: DefaultBaseFee, SeqNum: src.SeqNum + 1,
+		TimeBounds: &TimeBounds{MaxTime: c.env.CloseTime - 1},
+		Operations: []Operation{{Body: &Payment{Destination: c.master, Asset: NativeAsset(), Amount: One}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	if res := c.st.ApplyTransaction(tx, c.networkID, &c.env); res.Err == "" {
+		t.Fatal("expired tx accepted")
+	}
+	tx.TimeBounds = &TimeBounds{MinTime: c.env.CloseTime - 10, MaxTime: c.env.CloseTime + 10}
+	tx.Signatures = nil
+	tx.Sign(c.networkID, c.keys[alice])
+	if res := c.st.ApplyTransaction(tx, c.networkID, &c.env); !res.Success {
+		t.Fatalf("in-bounds tx rejected: %q", res.Err)
+	}
+}
+
+func TestFeeBelowMinimumRejected(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.fund("fee-alice", 100*One)
+	src := c.st.Account(alice)
+	tx := &Transaction{
+		Source: alice, Fee: DefaultBaseFee - 1, SeqNum: src.SeqNum + 1,
+		Operations: []Operation{{Body: &Payment{Destination: c.master, Asset: NativeAsset(), Amount: One}}},
+	}
+	tx.Sign(c.networkID, c.keys[alice])
+	if res := c.st.ApplyTransaction(tx, c.networkID, &c.env); res.Err == "" {
+		t.Fatal("under-fee tx accepted")
+	}
+}
+
+func TestFeePoolAccumulates(t *testing.T) {
+	c := newTestChain(t)
+	before := c.st.FeePool
+	c.fund("pool-alice", 100*One)
+	if c.st.FeePool <= before {
+		t.Fatal("fee pool did not grow")
+	}
+}

@@ -1,0 +1,209 @@
+package ledger
+
+import (
+	"fmt"
+
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// Transaction model (paper §5.2): a source account, validity criteria
+// (sequence number, optional time bounds), a memo, and one or more
+// operations. Transactions are atomic: if any operation fails, none of
+// them execute.
+
+// TimeBounds optionally limits when a transaction may execute (§5.2: so a
+// counterparty cannot "sit on the transaction for a year").
+type TimeBounds struct {
+	MinTime int64 // earliest close time, unix seconds; 0 = no bound
+	MaxTime int64 // latest close time; 0 = no bound
+}
+
+// Contains reports whether closeTime falls inside the bounds.
+func (tb *TimeBounds) Contains(closeTime int64) bool {
+	if tb == nil {
+		return true
+	}
+	if tb.MinTime != 0 && closeTime < tb.MinTime {
+		return false
+	}
+	if tb.MaxTime != 0 && closeTime > tb.MaxTime {
+		return false
+	}
+	return true
+}
+
+// Transaction is the unit of atomic ledger change.
+type Transaction struct {
+	Source     AccountID
+	Fee        Amount // maximum total fee offered, in stroops
+	SeqNum     uint64 // must be source's sequence number + 1
+	TimeBounds *TimeBounds
+	Memo       string
+	Operations []Operation
+	Signatures [][]byte
+}
+
+// Operation pairs an operation body with an optional source account
+// override (§5.2: "Each operation has a source account, which defaults to
+// that of the overall transaction").
+type Operation struct {
+	Source AccountID // empty = transaction source
+	Body   OpBody
+}
+
+// sourceOr returns the effective source of the operation.
+func (op *Operation) sourceOr(txSource AccountID) AccountID {
+	if op.Source != "" {
+		return op.Source
+	}
+	return txSource
+}
+
+// ThresholdLevel categorizes operations for multisig (§5.2: higher signing
+// weight for some operations such as SetOptions, lower for others such as
+// AllowTrust).
+type ThresholdLevel int
+
+// Threshold levels.
+const (
+	ThresholdLow ThresholdLevel = iota
+	ThresholdMedium
+	ThresholdHigh
+)
+
+// OpBody is implemented by each of the Figure 4 operations.
+type OpBody interface {
+	// Type names the operation.
+	Type() string
+	// Threshold returns the multisig level the operation requires.
+	Threshold() ThresholdLevel
+	// Validate checks parameters that need no ledger state.
+	Validate() error
+	// Apply executes the operation against the journaled state.
+	Apply(st *State, env *ApplyEnv, source AccountID) error
+	// EncodeXDR writes the canonical encoding for hashing/signing.
+	EncodeXDR(e *xdr.Encoder)
+}
+
+// ApplyEnv carries per-ledger context into operations.
+type ApplyEnv struct {
+	LedgerSeq uint32
+	CloseTime int64
+}
+
+// EncodeXDR writes the signed payload portion of the transaction.
+func (tx *Transaction) EncodeXDR(e *xdr.Encoder) {
+	e.PutString(string(tx.Source))
+	e.PutInt64(tx.Fee)
+	e.PutUint64(tx.SeqNum)
+	if tx.TimeBounds != nil {
+		e.PutBool(true)
+		e.PutInt64(tx.TimeBounds.MinTime)
+		e.PutInt64(tx.TimeBounds.MaxTime)
+	} else {
+		e.PutBool(false)
+	}
+	e.PutString(tx.Memo)
+	e.PutUint32(uint32(len(tx.Operations)))
+	for i := range tx.Operations {
+		op := &tx.Operations[i]
+		e.PutString(string(op.Source))
+		e.PutString(op.Body.Type())
+		op.Body.EncodeXDR(e)
+	}
+}
+
+// Hash returns the transaction's content hash bound to the network ID, the
+// payload that signatures cover.
+func (tx *Transaction) Hash(networkID stellarcrypto.Hash) stellarcrypto.Hash {
+	e := xdr.NewEncoder(256)
+	e.PutFixed(networkID[:])
+	tx.EncodeXDR(e)
+	return stellarcrypto.HashBytes(e.Bytes())
+}
+
+// Sign appends a signature by kp over the transaction hash.
+func (tx *Transaction) Sign(networkID stellarcrypto.Hash, kp stellarcrypto.KeyPair) {
+	h := tx.Hash(networkID)
+	tx.Signatures = append(tx.Signatures, kp.Secret.Sign(h[:]))
+}
+
+// requiredLevels returns, per source account, the highest threshold level
+// any of its operations requires. The transaction source additionally
+// needs at least low threshold (for fee and sequence processing).
+func (tx *Transaction) requiredLevels() map[AccountID]ThresholdLevel {
+	req := map[AccountID]ThresholdLevel{tx.Source: ThresholdLow}
+	for i := range tx.Operations {
+		op := &tx.Operations[i]
+		src := op.sourceOr(tx.Source)
+		lvl := op.Body.Threshold()
+		if cur, ok := req[src]; !ok || lvl > cur {
+			req[src] = lvl
+		}
+	}
+	return req
+}
+
+// thresholdValue extracts the weight an account demands for a level.
+func thresholdValue(a *AccountEntry, lvl ThresholdLevel) uint8 {
+	switch lvl {
+	case ThresholdLow:
+		return a.Thresholds.Low
+	case ThresholdMedium:
+		return a.Thresholds.Medium
+	default:
+		return a.Thresholds.High
+	}
+}
+
+// checkSignatures verifies that, for every source account the transaction
+// touches, the attached signatures carry enough weight for the required
+// threshold level (§5.1 multisig).
+func (tx *Transaction) checkSignatures(st *State, networkID stellarcrypto.Hash) error {
+	h := tx.Hash(networkID)
+	for acct, lvl := range tx.requiredLevels() {
+		entry := st.Account(acct)
+		if entry == nil {
+			return fmt.Errorf("ledger: tx source account %s does not exist", acct)
+		}
+		needed := int(thresholdValue(entry, lvl))
+		weight := 0
+		// Candidate signing keys: the master key plus listed signers.
+		candidates := make([]AccountID, 0, 1+len(entry.Signers))
+		candidates = append(candidates, entry.ID)
+		for _, s := range entry.Signers {
+			candidates = append(candidates, s.Key)
+		}
+		used := make(map[AccountID]bool)
+		for _, sig := range tx.Signatures {
+			for _, key := range candidates {
+				if used[key] {
+					continue
+				}
+				pk, err := key.PublicKey()
+				if err != nil {
+					continue
+				}
+				if pk.Verify(h[:], sig) {
+					used[key] = true
+					weight += int(entry.signerWeight(key))
+					break
+				}
+			}
+		}
+		if weight < needed || weight == 0 {
+			return fmt.Errorf("ledger: %s needs weight %d at level %d, signatures carry %d",
+				acct, needed, lvl, weight)
+		}
+	}
+	return nil
+}
+
+// NumOperations returns the operation count (the §5.3 nomination metric).
+func (tx *Transaction) NumOperations() int { return len(tx.Operations) }
+
+// MinFee returns the minimum acceptable fee for the transaction.
+func (st *State) MinFee(tx *Transaction) Amount {
+	return st.BaseFee * Amount(len(tx.Operations))
+}

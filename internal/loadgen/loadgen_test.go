@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"testing"
+
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+)
+
+func TestPopulateCreatesAccounts(t *testing.T) {
+	nid := stellarcrypto.HashBytes([]byte("loadgen-test"))
+	masterKP := stellarcrypto.KeyPairFromString("lg-master")
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	st := ledger.NewGenesisState(master)
+
+	actives, err := Populate(st, master, masterKP, nid, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actives) != 10 {
+		t.Fatalf("actives = %d", len(actives))
+	}
+	if st.NumAccounts() != 101 { // master + 100
+		t.Fatalf("accounts = %d", st.NumAccounts())
+	}
+	// Active accounts have usable keys and balances.
+	for _, a := range actives {
+		acct := st.Account(a.ID)
+		if acct == nil || acct.Balance < 100*ledger.One {
+			t.Fatalf("active account %s underfunded", a.ID)
+		}
+		if ledger.AccountIDFromPublicKey(a.Key.Public) != a.ID {
+			t.Fatal("active key mismatch")
+		}
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	nid := stellarcrypto.HashBytes([]byte("loadgen-det"))
+	masterKP := stellarcrypto.KeyPairFromString("lg-master2")
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	build := func() []ledger.SnapshotEntry {
+		st := ledger.NewGenesisState(master)
+		if _, err := Populate(st, master, masterKP, nid, 50, 5); err != nil {
+			t.Fatal(err)
+		}
+		return st.SnapshotAll()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic population size")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestPopulateRejectsBadSplit(t *testing.T) {
+	nid := stellarcrypto.HashBytes([]byte("x"))
+	masterKP := stellarcrypto.KeyPairFromString("lg-master3")
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	st := ledger.NewGenesisState(master)
+	if _, err := Populate(st, master, masterKP, nid, 5, 10); err == nil {
+		t.Fatal("nActive > total accepted")
+	}
+}
+
+func TestBallastAddressesWellFormed(t *testing.T) {
+	seen := map[ledger.AccountID]bool{}
+	for i := 0; i < 100; i++ {
+		id := ballastAddress(i)
+		if seen[id] {
+			t.Fatalf("duplicate ballast address at %d", i)
+		}
+		seen[id] = true
+		if _, err := id.PublicKey(); err != nil {
+			t.Fatalf("ballast address %d not decodable: %v", i, err)
+		}
+	}
+}

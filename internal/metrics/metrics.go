@@ -1,0 +1,205 @@
+// Package metrics provides the measurement machinery behind the paper's
+// evaluation (§7): latency distributions with percentiles (Fig 8–11),
+// counters for messages and timeouts, and simple rate tracking.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates duration samples and reports order statistics.
+// It stores raw samples; experiment runs are small enough that this is
+// simpler and more accurate than bucketing.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Samples returns the raw samples; callers must not mutate them.
+func (h *Histogram) Samples() []time.Duration { return h.samples }
+
+func (h *Histogram) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank,
+// or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[len(h.samples)-1]
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[0]
+}
+
+// Stddev returns the sample standard deviation.
+func (h *Histogram) Stddev() time.Duration {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.Mean())
+	var acc float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n-1)))
+}
+
+// String summarizes mean and tail.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p99=%v max=%v", h.N(), h.Mean(), h.Percentile(99), h.Max())
+}
+
+// IntHistogram accumulates integer samples (e.g. timeouts per ledger,
+// transactions per ledger — Fig 8 and the §7.3 baseline).
+type IntHistogram struct {
+	samples []int
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *IntHistogram) Add(v int) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *IntHistogram) N() int { return len(h.samples) }
+
+// Samples returns the raw samples; callers must not mutate them.
+func (h *IntHistogram) Samples() []int { return h.samples }
+
+func (h *IntHistogram) sortSamples() {
+	if !h.sorted {
+		sort.Ints(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile by nearest-rank.
+func (h *IntHistogram) Percentile(p float64) int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (h *IntHistogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range h.samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *IntHistogram) Max() int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[len(h.samples)-1]
+}
+
+// Stddev returns the sample standard deviation.
+func (h *IntHistogram) Stddev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var acc float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// NodeMetrics aggregates one validator's per-ledger measurements, the
+// quantities plotted in Figures 8–11.
+type NodeMetrics struct {
+	// Nomination: time from nomination start to first prepare (§7.3).
+	Nomination Histogram
+	// Balloting: time from first prepare to confirming a ballot.
+	Balloting Histogram
+	// LedgerUpdate: time to apply the consensus value.
+	LedgerUpdate Histogram
+	// TxPerLedger: confirmed transactions per ledger.
+	TxPerLedger IntHistogram
+	// CloseInterval: time between consecutive ledger closes (§7.3
+	// "close rate").
+	CloseInterval Histogram
+	// NominationTimeouts and BallotTimeouts per ledger (Fig 8).
+	NominationTimeouts IntHistogram
+	BallotTimeouts     IntHistogram
+	// MessagesEmitted counts SCP envelopes this node broadcast per
+	// ledger (§7.2: ~6-7 logical messages per ledger).
+	MessagesEmitted IntHistogram
+}

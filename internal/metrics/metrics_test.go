@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramAddAfterRead(t *testing.T) {
+	var h Histogram
+	h.Add(5 * time.Millisecond)
+	_ = h.Percentile(50)
+	h.Add(time.Millisecond) // must re-sort
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min after late add = %v", got)
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if h.Stddev() != 0 {
+		t.Fatal("stddev of one sample nonzero")
+	}
+	h.Add(20)
+	if h.Stddev() == 0 {
+		t.Fatal("stddev of distinct samples zero")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	for _, v := range []int{0, 0, 0, 1, 4} {
+		h.Add(v)
+	}
+	if h.Percentile(60) != 0 {
+		t.Fatalf("p60 = %d", h.Percentile(60))
+	}
+	if h.Percentile(75) != 1 { // nearest-rank: ⌈0.75·5⌉ = 4th sample
+		t.Fatalf("p75 = %d", h.Percentile(75))
+	}
+	if h.Percentile(99) != 4 {
+		t.Fatalf("p99 = %d", h.Percentile(99))
+	}
+	if h.Max() != 4 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Mean() != 1.0 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Stddev() <= 0 {
+		t.Fatal("stddev zero")
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	var h IntHistogram
+	if h.Percentile(99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Stddev() != 0 {
+		t.Fatal("empty IntHistogram not zero")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var h Histogram
+	h.Add(time.Second)
+	if h.Percentile(0.0001) != time.Second || h.Percentile(100) != time.Second {
+		t.Fatal("percentile bounds wrong for single sample")
+	}
+}

@@ -1,0 +1,92 @@
+package overlay
+
+import (
+	"sort"
+
+	"stellar/internal/simnet"
+)
+
+// Structured multicast — the paper's future-work optimization (§7.5):
+// "transactions and SCP messages are broadcast by validators using a naïve
+// flooding protocol, but should ideally use more efficient, structured
+// peer-to-peer multicast [SplitStream]". This implements a per-origin
+// balanced spanning tree over the known member list: each message travels
+// each link once (O(N) deliveries network-wide instead of flooding's
+// O(N·peers)).
+//
+// The trade-off, which the comparison experiment quantifies, is fault
+// sensitivity: a crashed interior node silences its subtree until
+// anti-entropy rebroadcast repairs it, whereas flooding routes around
+// failures for free.
+
+// Mode selects the dissemination strategy.
+type Mode int
+
+// Dissemination modes.
+const (
+	// ModeFlood is the production behavior the paper measures (§7.5).
+	ModeFlood Mode = iota
+	// ModeTree is the structured-multicast extension.
+	ModeTree
+)
+
+// SetMode selects the dissemination strategy; ModeTree requires SetMembers.
+func (o *Overlay) SetMode(m Mode) { o.mode = m }
+
+// SetMembers installs the full member list used to build multicast trees.
+// All nodes must use the same list (it is sorted internally).
+func (o *Overlay) SetMembers(members ...simnet.Addr) {
+	ms := append([]simnet.Addr(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	o.members = ms
+}
+
+// treeFanout is the branching factor of the multicast tree.
+const treeFanout = 2
+
+// treeChildren returns this node's children in the tree rooted at origin.
+// Members are rotated so the origin is position 0; children of position p
+// are fanout·p+1 … fanout·p+fanout.
+func (o *Overlay) treeChildren(origin simnet.Addr) []simnet.Addr {
+	n := len(o.members)
+	if n == 0 {
+		return nil
+	}
+	rootIdx, selfIdx := -1, -1
+	for i, m := range o.members {
+		if m == origin {
+			rootIdx = i
+		}
+		if m == o.self {
+			selfIdx = i
+		}
+	}
+	if rootIdx < 0 || selfIdx < 0 {
+		return nil // unknown origin or we are not a member: no forwarding
+	}
+	pos := (selfIdx - rootIdx + n) % n
+	var out []simnet.Addr
+	for c := treeFanout*pos + 1; c <= treeFanout*pos+treeFanout; c++ {
+		if c >= n {
+			break
+		}
+		out = append(out, o.members[(rootIdx+c)%n])
+	}
+	return out
+}
+
+// disseminate sends a packet using the configured mode. For ModeTree the
+// packet must carry its origin.
+func (o *Overlay) disseminate(p *Packet, except simnet.Addr) {
+	if o.mode == ModeTree && len(o.members) > 0 {
+		for _, child := range o.treeChildren(p.Origin) {
+			if child == o.self {
+				continue
+			}
+			o.FloodsSent++
+			o.net.Send(o.self, child, p, p.size())
+		}
+		return
+	}
+	o.flood(p, except)
+}

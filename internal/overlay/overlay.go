@@ -1,0 +1,255 @@
+// Package overlay implements Stellar's peer-to-peer message layer as the
+// paper describes it (§7.5): transactions and SCP envelopes are broadcast
+// with a naïve flooding protocol — each node forwards every novel message
+// to all peers except the one it came from — with a bounded duplicate-
+// suppression cache. (The paper notes structured multicast as future
+// work; the flooding cost it measures is what this reproduces.)
+package overlay
+
+import (
+	"stellar/internal/ledger"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// Kind tags the payload of a flooded packet.
+type Kind int
+
+// Packet kinds.
+const (
+	KindEnvelope Kind = iota + 1
+	KindTx
+	KindTxSet
+	// KindCatchupReq and KindCatchupResp are point-to-point (never
+	// flooded): a lagging node asks a peer for recently closed ledgers
+	// (§5.4 catch-up when the history archive is not reachable).
+	KindCatchupReq
+	KindCatchupResp
+)
+
+// Packet is the unit of flooding.
+type Packet struct {
+	Kind     Kind
+	Envelope *scp.Envelope
+	Tx       *ledger.Transaction
+	TxSet    *ledger.TxSet
+	// TTL bounds re-flooding so that an undersized dedup cache degrades
+	// into extra duplicates rather than an infinite forwarding loop.
+	TTL int
+	// Origin is the node that first broadcast the packet; structured
+	// multicast (multicast.go) builds its tree rooted here.
+	Origin simnet.Addr
+
+	// Catch-up fields (point-to-point, not flooded).
+	CatchupFrom  uint32
+	CatchupItems []CatchupItem
+}
+
+// CatchupItem is one closed ledger for peer catch-up: the consensus value
+// that closed it (raw scp.Value bytes of the StellarValue) and its
+// transaction set. The receiver re-derives the header by applying and
+// verifies the chain against its SCP-decided values.
+type CatchupItem struct {
+	Slot  uint64
+	Value []byte
+	TxSet *ledger.TxSet
+}
+
+// DefaultTTL comfortably exceeds the diameter of any realistic overlay.
+const DefaultTTL = 16
+
+// id returns the packet's dedup identity.
+func (p *Packet) id(networkID stellarcrypto.Hash) stellarcrypto.Hash {
+	switch p.Kind {
+	case KindEnvelope:
+		return stellarcrypto.HashBytes(p.Envelope.SigningPayload())
+	case KindTx:
+		return p.Tx.Hash(networkID)
+	case KindTxSet:
+		return p.TxSet.Hash(networkID)
+	default:
+		return stellarcrypto.Hash{}
+	}
+}
+
+// size approximates the wire size for bandwidth accounting.
+func (p *Packet) size() int {
+	switch p.Kind {
+	case KindEnvelope:
+		return p.Envelope.WireSize()
+	case KindTx:
+		// Payload plus signatures; a close-enough approximation for the
+		// §7.4 bandwidth measurement.
+		n := 160
+		for i := range p.Tx.Operations {
+			_ = i
+			n += 64
+		}
+		n += 64 * len(p.Tx.Signatures)
+		return n
+	case KindTxSet:
+		return 64 + 224*len(p.TxSet.Txs)
+	case KindCatchupReq:
+		return 32
+	case KindCatchupResp:
+		n := 32
+		for _, it := range p.CatchupItems {
+			n += 320 + 224*len(it.TxSet.Txs)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// DefaultSeenCacheSize bounds the duplicate-suppression cache.
+const DefaultSeenCacheSize = 4096
+
+// Overlay is one node's view of the flooding network.
+type Overlay struct {
+	net       *simnet.Network
+	self      simnet.Addr
+	networkID stellarcrypto.Hash
+	peers     []simnet.Addr
+	mode      Mode
+	members   []simnet.Addr
+
+	// Dedup cache: set plus FIFO eviction ring.
+	seen     map[stellarcrypto.Hash]struct{}
+	ring     []stellarcrypto.Hash
+	ringNext int
+
+	// Delivery callbacks into the herder.
+	OnEnvelope func(*scp.Envelope)
+	OnTx       func(*ledger.Transaction)
+	OnTxSet    func(*ledger.TxSet)
+	// OnCatchup handles point-to-point catch-up packets; from identifies
+	// the peer to reply to.
+	OnCatchup func(from simnet.Addr, p *Packet)
+
+	// Counters.
+	FloodsSent     uint64
+	Delivered      uint64
+	DupesSuppessed uint64
+}
+
+// New creates an overlay endpoint for self on the simulated network.
+// cacheSize ≤ 0 selects the default.
+func New(net *simnet.Network, self simnet.Addr, networkID stellarcrypto.Hash, cacheSize int) *Overlay {
+	if cacheSize <= 0 {
+		cacheSize = DefaultSeenCacheSize
+	}
+	return &Overlay{
+		net:       net,
+		self:      self,
+		networkID: networkID,
+		seen:      make(map[stellarcrypto.Hash]struct{}, cacheSize),
+		ring:      make([]stellarcrypto.Hash, cacheSize),
+	}
+}
+
+// Connect sets the peer list (bidirectional links are the caller's
+// responsibility: connect both sides).
+func (o *Overlay) Connect(peers ...simnet.Addr) {
+	for _, p := range peers {
+		if p != o.self {
+			o.peers = append(o.peers, p)
+		}
+	}
+}
+
+// Peers returns the connected peers.
+func (o *Overlay) Peers() []simnet.Addr { return o.peers }
+
+// markSeen inserts the id, evicting FIFO; reports whether it was new.
+func (o *Overlay) markSeen(id stellarcrypto.Hash) bool {
+	if _, dup := o.seen[id]; dup {
+		return false
+	}
+	old := o.ring[o.ringNext]
+	if !old.Zero() {
+		delete(o.seen, old)
+	}
+	o.ring[o.ringNext] = id
+	o.ringNext = (o.ringNext + 1) % len(o.ring)
+	o.seen[id] = struct{}{}
+	return true
+}
+
+// BroadcastEnvelope floods a locally generated SCP envelope.
+func (o *Overlay) BroadcastEnvelope(env *scp.Envelope) {
+	p := &Packet{Kind: KindEnvelope, Envelope: env, TTL: DefaultTTL, Origin: o.self}
+	o.markSeen(p.id(o.networkID))
+	o.disseminate(p, "")
+}
+
+// BroadcastTx floods a locally submitted transaction.
+func (o *Overlay) BroadcastTx(tx *ledger.Transaction) {
+	p := &Packet{Kind: KindTx, Tx: tx, TTL: DefaultTTL, Origin: o.self}
+	o.markSeen(p.id(o.networkID))
+	o.disseminate(p, "")
+}
+
+// SendDirect delivers a packet point-to-point: no flooding, no dedup.
+func (o *Overlay) SendDirect(to simnet.Addr, p *Packet) {
+	o.net.Send(o.self, to, p, p.size())
+}
+
+// BroadcastTxSet floods a proposed transaction set so peers can validate
+// and apply values that reference its hash (§5.3).
+func (o *Overlay) BroadcastTxSet(ts *ledger.TxSet) {
+	p := &Packet{Kind: KindTxSet, TxSet: ts, TTL: DefaultTTL, Origin: o.self}
+	o.markSeen(p.id(o.networkID))
+	o.disseminate(p, "")
+}
+
+// flood sends to every peer except the one the packet arrived from.
+func (o *Overlay) flood(p *Packet, except simnet.Addr) {
+	if p.TTL <= 0 {
+		return
+	}
+	for _, peer := range o.peers {
+		if peer == except {
+			continue
+		}
+		o.FloodsSent++
+		o.net.Send(o.self, peer, p, p.size())
+	}
+}
+
+// HandleMessage implements simnet.Handler for packets.
+func (o *Overlay) HandleMessage(from simnet.Addr, msg any, size int) {
+	p, ok := msg.(*Packet)
+	if !ok {
+		return
+	}
+	if p.Kind == KindCatchupReq || p.Kind == KindCatchupResp {
+		if o.OnCatchup != nil {
+			o.OnCatchup(from, p)
+		}
+		return
+	}
+	if !o.markSeen(p.id(o.networkID)) {
+		o.DupesSuppessed++
+		return
+	}
+	o.Delivered++
+	switch p.Kind {
+	case KindEnvelope:
+		if o.OnEnvelope != nil {
+			o.OnEnvelope(p.Envelope)
+		}
+	case KindTx:
+		if o.OnTx != nil {
+			o.OnTx(p.Tx)
+		}
+	case KindTxSet:
+		if o.OnTxSet != nil {
+			o.OnTxSet(p.TxSet)
+		}
+	}
+	fwd := *p
+	fwd.TTL--
+	o.disseminate(&fwd, from)
+}

@@ -1,0 +1,318 @@
+// Package pbft implements a simplified PBFT-style closed-membership
+// Byzantine agreement protocol (Castro & Liskov [31] in the paper's
+// related work, §2.1): a fixed set of N = 3f+1 replicas, a round-robin
+// leader, and the classic pre-prepare / prepare / commit three-phase
+// exchange with quorums of 2f+1.
+//
+// It serves as the comparison baseline (experiment E11): unlike SCP it has
+// closed membership and uniform quorums, but over the same simulated
+// network it shows the message and latency profile of a conventional BFT
+// protocol at equal N.
+package pbft
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"stellar/internal/simnet"
+)
+
+// Value is an opaque proposal.
+type Value []byte
+
+// phase of a replica within one slot.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phasePrePrepared
+	phasePrepared
+	phaseCommitted
+)
+
+// msgType enumerates protocol messages.
+type msgType int
+
+const (
+	msgPrePrepare msgType = iota + 1
+	msgPrepare
+	msgCommit
+	msgViewChange
+	msgNewView
+)
+
+// String names the message type.
+func (t msgType) String() string {
+	switch t {
+	case msgPrePrepare:
+		return "PRE-PREPARE"
+	case msgPrepare:
+		return "PREPARE"
+	case msgCommit:
+		return "COMMIT"
+	case msgViewChange:
+		return "VIEW-CHANGE"
+	case msgNewView:
+		return "NEW-VIEW"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Message is a protocol message for one slot.
+type Message struct {
+	Type    msgType
+	Slot    uint64
+	View    int
+	From    int // replica index
+	Value   Value
+	Request Value // NEW-VIEW carries the value to re-propose
+}
+
+// wireSize approximates encoded size for bandwidth accounting.
+func (m *Message) wireSize() int { return 64 + len(m.Value) + len(m.Request) }
+
+// Config parameterizes a replica group.
+type Config struct {
+	// N is the replica count; the protocol tolerates f = (N-1)/3 faults.
+	N int
+	// Timeout triggers a view change when a slot stalls.
+	Timeout time.Duration
+}
+
+// Replica is one PBFT participant.
+type Replica struct {
+	cfg   Config
+	index int
+	net   *simnet.Network
+	addr  simnet.Addr
+	peers []simnet.Addr
+
+	slots map[uint64]*slotState
+
+	// Decided is invoked on each decision.
+	Decided func(slot uint64, v Value)
+
+	// MessagesSent counts protocol messages for the comparison bench.
+	MessagesSent uint64
+}
+
+type slotState struct {
+	view      int
+	phase     phase
+	value     Value
+	prepares  map[int]bool
+	commits   map[int]bool
+	viewVotes map[int]int // replica → requested view
+	decided   bool
+	timer     *simnet.Timer
+	request   Value // the client request (leader re-proposes on view change)
+}
+
+// f returns the fault tolerance.
+func (c Config) f() int { return (c.N - 1) / 3 }
+
+// quorum returns the 2f+1 quorum size.
+func (c Config) quorum() int { return 2*c.f() + 1 }
+
+// NewGroup creates n connected replicas on the network.
+func NewGroup(net *simnet.Network, cfg Config) []*Replica {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	addrs := make([]simnet.Addr, cfg.N)
+	for i := range addrs {
+		addrs[i] = simnet.Addr(fmt.Sprintf("pbft-%02d", i))
+	}
+	out := make([]*Replica, cfg.N)
+	for i := range out {
+		r := &Replica{
+			cfg:   cfg,
+			index: i,
+			net:   net,
+			addr:  addrs[i],
+			peers: addrs,
+			slots: make(map[uint64]*slotState),
+		}
+		net.AddNode(r.addr, simnet.HandlerFunc(r.handle))
+		out[i] = r
+	}
+	return out
+}
+
+// Addr returns the replica's network address.
+func (r *Replica) Addr() simnet.Addr { return r.addr }
+
+// leaderFor computes the round-robin leader of a view.
+func (r *Replica) leaderFor(view int) int { return view % r.cfg.N }
+
+func (r *Replica) slot(s uint64) *slotState {
+	st, ok := r.slots[s]
+	if !ok {
+		st = &slotState{
+			prepares:  make(map[int]bool),
+			commits:   make(map[int]bool),
+			viewVotes: make(map[int]int),
+		}
+		r.slots[s] = st
+	}
+	return st
+}
+
+// Propose submits a client request for a slot. Only the current leader
+// acts on it; other replicas stash it for potential view changes.
+func (r *Replica) Propose(slot uint64, v Value) {
+	st := r.slot(slot)
+	st.request = v
+	r.armTimer(slot, st)
+	if r.leaderFor(st.view) != r.index || st.phase != phaseIdle {
+		return
+	}
+	r.broadcast(&Message{Type: msgPrePrepare, Slot: slot, View: st.view, From: r.index, Value: v})
+	r.onPrePrepare(st, slot, st.view, v)
+}
+
+func (r *Replica) armTimer(slot uint64, st *slotState) {
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	view := st.view
+	st.timer = r.net.After(r.addr, r.cfg.Timeout, func() {
+		r.requestViewChange(slot, view)
+	})
+}
+
+func (r *Replica) broadcast(m *Message) {
+	for i, p := range r.peers {
+		if i == r.index {
+			continue
+		}
+		r.MessagesSent++
+		r.net.Send(r.addr, p, m, m.wireSize())
+	}
+}
+
+func (r *Replica) handle(from simnet.Addr, msg any, size int) {
+	m, ok := msg.(*Message)
+	if !ok {
+		return
+	}
+	st := r.slot(m.Slot)
+	if st.decided {
+		return
+	}
+	switch m.Type {
+	case msgPrePrepare:
+		if m.View != st.view || r.leaderFor(m.View) != m.From {
+			return
+		}
+		r.onPrePrepare(st, m.Slot, m.View, m.Value)
+	case msgPrepare:
+		if m.View != st.view || st.value != nil && !bytes.Equal(st.value, m.Value) {
+			return
+		}
+		st.prepares[m.From] = true
+		r.maybeAdvance(st, m.Slot)
+	case msgCommit:
+		if m.View != st.view {
+			return
+		}
+		st.commits[m.From] = true
+		r.maybeAdvance(st, m.Slot)
+	case msgViewChange:
+		st.viewVotes[m.From] = m.View
+		r.maybeChangeView(st, m.Slot, m.View)
+	case msgNewView:
+		if r.leaderFor(m.View) != m.From || m.View < st.view {
+			return
+		}
+		r.enterView(st, m.Slot, m.View)
+		r.onPrePrepare(st, m.Slot, m.View, m.Request)
+	}
+}
+
+// onPrePrepare accepts the leader's proposal and broadcasts PREPARE.
+func (r *Replica) onPrePrepare(st *slotState, slot uint64, view int, v Value) {
+	if st.phase != phaseIdle || v == nil {
+		return
+	}
+	st.value = v
+	st.phase = phasePrePrepared
+	st.prepares[r.index] = true
+	r.broadcast(&Message{Type: msgPrepare, Slot: slot, View: view, From: r.index, Value: v})
+	r.maybeAdvance(st, slot)
+}
+
+// maybeAdvance moves through prepared → committed → decided as quorums
+// accumulate.
+func (r *Replica) maybeAdvance(st *slotState, slot uint64) {
+	if st.phase == phasePrePrepared && len(st.prepares) >= r.cfg.quorum() {
+		st.phase = phasePrepared
+		st.commits[r.index] = true
+		r.broadcast(&Message{Type: msgCommit, Slot: slot, View: st.view, From: r.index, Value: st.value})
+	}
+	if st.phase == phasePrepared && len(st.commits) >= r.cfg.quorum() && !st.decided {
+		st.phase = phaseCommitted
+		st.decided = true
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		if r.Decided != nil {
+			r.Decided(slot, st.value)
+		}
+	}
+}
+
+// requestViewChange broadcasts a VIEW-CHANGE for view+1.
+func (r *Replica) requestViewChange(slot uint64, stuckView int) {
+	st := r.slot(slot)
+	if st.decided || st.view != stuckView {
+		return
+	}
+	next := st.view + 1
+	st.viewVotes[r.index] = next
+	r.broadcast(&Message{Type: msgViewChange, Slot: slot, View: next, From: r.index})
+	r.maybeChangeView(st, slot, next)
+}
+
+// maybeChangeView counts view-change votes; the new leader issues
+// NEW-VIEW once 2f+1 replicas ask for the view.
+func (r *Replica) maybeChangeView(st *slotState, slot uint64, view int) {
+	if view <= st.view || st.decided {
+		return
+	}
+	votes := 0
+	for _, v := range st.viewVotes {
+		if v >= view {
+			votes++
+		}
+	}
+	if votes < r.cfg.quorum() {
+		return
+	}
+	r.enterView(st, slot, view)
+	if r.leaderFor(view) == r.index && st.request != nil {
+		r.broadcast(&Message{Type: msgNewView, Slot: slot, View: view, From: r.index, Request: st.request})
+		r.onPrePrepare(st, slot, view, st.request)
+	}
+}
+
+// enterView resets per-view state.
+func (r *Replica) enterView(st *slotState, slot uint64, view int) {
+	st.view = view
+	st.phase = phaseIdle
+	st.value = nil
+	st.prepares = make(map[int]bool)
+	st.commits = make(map[int]bool)
+	r.armTimer(slot, st)
+}
+
+// DecidedValue reports the decision for a slot, if any.
+func (r *Replica) DecidedValue(slot uint64) (Value, bool) {
+	st, ok := r.slots[slot]
+	if !ok || !st.decided {
+		return nil, false
+	}
+	return st.value, true
+}

@@ -1,0 +1,211 @@
+// Package qconfig implements the simplified quorum-configuration mechanism
+// of paper §6.1 (Figure 6): operators list organizations with a trust
+// quality label instead of hand-writing nested quorum sets, and the
+// synthesizer produces the nested sets — each organization a 51% threshold
+// set of its validators, organizations grouped by quality into 67% (or, for
+// critical, 100%) threshold sets, with each group a single entry in the
+// next higher-quality group. This reduces the misconfiguration surface that
+// caused the §6 outage.
+package qconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"stellar/internal/fba"
+)
+
+// Quality is the trust classification of an organization (§6.1).
+type Quality int
+
+// Quality levels, lowest to highest.
+const (
+	Low Quality = iota
+	Medium
+	High
+	Critical
+)
+
+// String names the quality.
+func (q Quality) String() string {
+	switch q {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
+// ParseQuality parses a quality label.
+func ParseQuality(s string) (Quality, error) {
+	switch s {
+	case "low":
+		return Low, nil
+	case "medium":
+		return Medium, nil
+	case "high":
+		return High, nil
+	case "critical":
+		return Critical, nil
+	default:
+		return 0, fmt.Errorf("qconfig: unknown quality %q", s)
+	}
+}
+
+// Organization describes one operator: its validators and quality label.
+type Organization struct {
+	Name       string
+	Quality    Quality
+	Validators []fba.NodeID
+}
+
+// Config is a full network description in the simplified model.
+type Config struct {
+	Orgs []Organization
+}
+
+// Validate applies the structural rules: non-empty orgs, unique validator
+// IDs, and the §6.1 requirement that high-and-above organizations run
+// enough validators to tolerate one failure (≥3).
+func (c *Config) Validate() error {
+	if len(c.Orgs) == 0 {
+		return fmt.Errorf("qconfig: no organizations")
+	}
+	seen := map[fba.NodeID]string{}
+	names := map[string]bool{}
+	for _, org := range c.Orgs {
+		if org.Name == "" {
+			return fmt.Errorf("qconfig: organization with empty name")
+		}
+		if names[org.Name] {
+			return fmt.Errorf("qconfig: duplicate organization %q", org.Name)
+		}
+		names[org.Name] = true
+		if len(org.Validators) == 0 {
+			return fmt.Errorf("qconfig: organization %q has no validators", org.Name)
+		}
+		if org.Quality >= High && len(org.Validators) < 3 {
+			return fmt.Errorf("qconfig: %s-quality organization %q runs %d validators, need ≥3",
+				org.Quality, org.Name, len(org.Validators))
+		}
+		for _, v := range org.Validators {
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("qconfig: validator %s in both %q and %q", v, prev, org.Name)
+			}
+			seen[v] = org.Name
+		}
+	}
+	return nil
+}
+
+// orgSet builds an organization's 51%-threshold inner quorum set. A
+// single-validator org degenerates to the validator itself being required.
+func orgSet(org Organization) fba.QuorumSet {
+	vs := append([]fba.NodeID(nil), org.Validators...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return fba.QuorumSet{
+		Threshold:  fba.PercentThreshold(len(vs), 51),
+		Validators: vs,
+	}
+}
+
+// Synthesize produces the nested quorum set every validator should use,
+// following Figure 6: quality groups from critical down to low, each group
+// a 51%-per-org set with a 67% (100% for critical) group threshold, and
+// each group a single entry of the group above it.
+func (c *Config) Synthesize() (fba.QuorumSet, error) {
+	if err := c.Validate(); err != nil {
+		return fba.QuorumSet{}, err
+	}
+	byQuality := map[Quality][]Organization{}
+	for _, org := range c.Orgs {
+		byQuality[org.Quality] = append(byQuality[org.Quality], org)
+	}
+	for _, orgs := range byQuality {
+		sort.Slice(orgs, func(i, j int) bool { return orgs[i].Name < orgs[j].Name })
+	}
+
+	var group *fba.QuorumSet // group synthesized so far (lower qualities)
+	for _, q := range []Quality{Low, Medium, High, Critical} {
+		orgs := byQuality[q]
+		if len(orgs) == 0 {
+			continue
+		}
+		var entries []fba.QuorumSet
+		for _, org := range orgs {
+			entries = append(entries, orgSet(org))
+		}
+		if group != nil {
+			entries = append(entries, *group)
+		}
+		pct := 67
+		if q == Critical {
+			pct = 100
+		}
+		g := fba.QuorumSet{
+			Threshold: fba.PercentThreshold(len(entries), pct),
+			InnerSets: entries,
+		}
+		group = &g
+	}
+	if group == nil {
+		return fba.QuorumSet{}, fmt.Errorf("qconfig: nothing to synthesize")
+	}
+	if err := group.Validate(); err != nil {
+		return fba.QuorumSet{}, fmt.Errorf("qconfig: synthesized set invalid: %w", err)
+	}
+	return *group, nil
+}
+
+// QuorumSets assigns the synthesized quorum set to every validator in the
+// configuration, producing the system map consumed by the checker and the
+// simulator.
+func (c *Config) QuorumSets() (fba.QuorumSets, error) {
+	qs, err := c.Synthesize()
+	if err != nil {
+		return nil, err
+	}
+	out := make(fba.QuorumSets)
+	for _, org := range c.Orgs {
+		for _, v := range org.Validators {
+			q := qs
+			out[v] = &q
+		}
+	}
+	return out, nil
+}
+
+// AllValidators lists every validator in the configuration, sorted.
+func (c *Config) AllValidators() []fba.NodeID {
+	var out []fba.NodeID
+	for _, org := range c.Orgs {
+		out = append(out, org.Validators...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SimulatedNetwork builds a Config shaped like the production topology of
+// §7.2: nOrgs tier-one organizations with validatorsPerOrg validators each,
+// named "<org>-<i>".
+func SimulatedNetwork(nOrgs, validatorsPerOrg int, quality Quality) Config {
+	var cfg Config
+	for o := 0; o < nOrgs; o++ {
+		org := Organization{
+			Name:    fmt.Sprintf("org%02d", o),
+			Quality: quality,
+		}
+		for v := 0; v < validatorsPerOrg; v++ {
+			org.Validators = append(org.Validators,
+				fba.NodeID(fmt.Sprintf("org%02d-%d", o, v)))
+		}
+		cfg.Orgs = append(cfg.Orgs, org)
+	}
+	return cfg
+}

@@ -1,0 +1,182 @@
+package qconfig
+
+import (
+	"testing"
+
+	"stellar/internal/fba"
+)
+
+func org(name string, q Quality, n int) Organization {
+	o := Organization{Name: name, Quality: q}
+	for i := 0; i < n; i++ {
+		o.Validators = append(o.Validators, fba.NodeID(name+"-"+string(rune('0'+i))))
+	}
+	return o
+}
+
+func TestValidateRules(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"empty", Config{}, false},
+		{"one low org", Config{Orgs: []Organization{org("a", Low, 1)}}, true},
+		{"high org too small", Config{Orgs: []Organization{org("a", High, 2)}}, false},
+		{"high org ok", Config{Orgs: []Organization{org("a", High, 3)}}, true},
+		{"critical org too small", Config{Orgs: []Organization{org("a", Critical, 1)}}, false},
+		{"dup org", Config{Orgs: []Organization{org("a", Low, 1), org("a", Low, 1)}}, false},
+		{"no validators", Config{Orgs: []Organization{{Name: "a", Quality: Low}}}, false},
+		{"dup validator", Config{Orgs: []Organization{
+			{Name: "a", Quality: Low, Validators: []fba.NodeID{"x"}},
+			{Name: "b", Quality: Low, Validators: []fba.NodeID{"x"}},
+		}}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSynthesizeSingleTier(t *testing.T) {
+	cfg := Config{Orgs: []Organization{
+		org("a", High, 3), org("b", High, 3), org("c", High, 3),
+	}}
+	qs, err := cfg.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 67% of 3 orgs = 3 (strict supermajority convention).
+	if qs.Threshold != 3 {
+		t.Fatalf("outer threshold = %d, want 3", qs.Threshold)
+	}
+	if len(qs.InnerSets) != 3 {
+		t.Fatalf("inner sets = %d", len(qs.InnerSets))
+	}
+	for _, in := range qs.InnerSets {
+		if in.Threshold != 2 || len(in.Validators) != 3 {
+			t.Fatalf("org set = %s, want 2-of-3", in.String())
+		}
+	}
+}
+
+func TestSynthesizeFiveOrgs(t *testing.T) {
+	cfg := SimulatedNetwork(5, 3, High)
+	qs, err := cfg.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 67% of 5 = 4.
+	if qs.Threshold != 4 {
+		t.Fatalf("threshold = %d, want 4", qs.Threshold)
+	}
+	if err := qs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeTiers(t *testing.T) {
+	cfg := Config{Orgs: []Organization{
+		org("crit1", Critical, 3), org("crit2", Critical, 3),
+		org("high1", High, 3),
+		org("med1", Medium, 1), org("med2", Medium, 1),
+		org("low1", Low, 1),
+	}}
+	qs, err := cfg.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top group: critical at 100%: entries = 2 critical orgs + high group.
+	if qs.Threshold != 3 || len(qs.InnerSets) != 3 {
+		t.Fatalf("critical group = %d-of-%d", qs.Threshold, len(qs.InnerSets))
+	}
+	// The nested chain must mention every validator.
+	members := qs.Members()
+	want := len(cfg.AllValidators())
+	if len(members) != want {
+		t.Fatalf("synthesized set covers %d validators, want %d", len(members), want)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SimulatedNetwork(4, 3, High)
+	a, err := cfg.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cfg.Synthesize()
+	if a.Hash() != b.Hash() {
+		t.Fatal("synthesis not deterministic")
+	}
+}
+
+func TestQuorumSetsAssignsAll(t *testing.T) {
+	cfg := SimulatedNetwork(3, 3, Medium)
+	qs, err := cfg.QuorumSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 9 {
+		t.Fatalf("%d validators, want 9", len(qs))
+	}
+	for id, q := range qs {
+		if !q.Members().Has(id) {
+			t.Fatalf("validator %s missing from own quorum set", id)
+		}
+	}
+}
+
+func TestQuorumSetsIsQuorumBehaviour(t *testing.T) {
+	// With 5 orgs at 67% (threshold 4) and 51% per org (2 of 3): any 4
+	// full orgs form a quorum; 3 orgs do not.
+	cfg := SimulatedNetwork(5, 3, High)
+	qs, err := cfg.QuorumSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourOrgs := fba.NewNodeSet()
+	for o := 0; o < 4; o++ {
+		for v := 0; v < 3; v++ {
+			fourOrgs.Add(cfg.Orgs[o].Validators[v])
+		}
+	}
+	if !fba.IsQuorum(fourOrgs, qs) {
+		t.Fatal("4 of 5 orgs should be a quorum")
+	}
+	threeOrgs := fba.NewNodeSet()
+	for o := 0; o < 3; o++ {
+		for v := 0; v < 3; v++ {
+			threeOrgs.Add(cfg.Orgs[o].Validators[v])
+		}
+	}
+	if fba.IsQuorum(threeOrgs, qs) {
+		t.Fatal("3 of 5 orgs should not be a quorum")
+	}
+}
+
+func TestParseQuality(t *testing.T) {
+	for _, s := range []string{"low", "medium", "high", "critical"} {
+		q, err := ParseQuality(s)
+		if err != nil || q.String() != s {
+			t.Fatalf("ParseQuality(%q) = %v, %v", s, q, err)
+		}
+	}
+	if _, err := ParseQuality("bogus"); err == nil {
+		t.Fatal("bogus quality parsed")
+	}
+}
+
+func TestSimulatedNetworkShape(t *testing.T) {
+	cfg := SimulatedNetwork(7, 3, High)
+	if len(cfg.Orgs) != 7 {
+		t.Fatalf("orgs = %d", len(cfg.Orgs))
+	}
+	if len(cfg.AllValidators()) != 21 {
+		t.Fatalf("validators = %d", len(cfg.AllValidators()))
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

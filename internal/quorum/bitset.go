@@ -1,0 +1,206 @@
+package quorum
+
+import (
+	"math/bits"
+	"sort"
+
+	"stellar/internal/fba"
+)
+
+// The search core works on an indexed, bitset-based representation of the
+// FBA system: node IDs become small integers and node sets become uint64
+// words, making the greatest-fixpoint quorum computations that dominate the
+// search orders of magnitude cheaper than map-based sets.
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) copy() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// or sets b = b | o.
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// andNot sets b = b &^ o.
+func (b bitset) andNot(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitset) subset(o bitset) bool {
+	for i := range b {
+		if b[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forEach calls fn for every set bit in ascending order.
+func (b bitset) forEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// iqset is a quorum set compiled to node indices. Validators referencing
+// nodes without known quorum sets are compiled to index -1 entries, which
+// can never be satisfied — the conservative reading for safety analysis.
+type iqset struct {
+	threshold int
+	vals      []int
+	inner     []*iqset
+}
+
+func (q *iqset) satisfiedBy(b bitset) bool {
+	count := 0
+	for _, v := range q.vals {
+		if v >= 0 && b.has(v) {
+			count++
+			if count >= q.threshold {
+				return true
+			}
+		}
+	}
+	for _, in := range q.inner {
+		if in.satisfiedBy(b) {
+			count++
+			if count >= q.threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isystem is the indexed FBA system.
+type isystem struct {
+	ids   []fba.NodeID
+	index map[fba.NodeID]int
+	qs    []*iqset
+}
+
+func buildSystem(qsets fba.QuorumSets) *isystem {
+	ids := make([]fba.NodeID, 0, len(qsets))
+	for id := range qsets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sys := &isystem{ids: ids, index: make(map[fba.NodeID]int, len(ids))}
+	for i, id := range ids {
+		sys.index[id] = i
+	}
+	sys.qs = make([]*iqset, len(ids))
+	for i, id := range ids {
+		sys.qs[i] = sys.compile(qsets[id])
+	}
+	return sys
+}
+
+func (sys *isystem) compile(q *fba.QuorumSet) *iqset {
+	out := &iqset{threshold: q.Threshold}
+	for _, v := range q.Validators {
+		idx, ok := sys.index[v]
+		if !ok {
+			idx = -1
+		}
+		out.vals = append(out.vals, idx)
+	}
+	for i := range q.InnerSets {
+		out.inner = append(out.inner, sys.compile(&q.InnerSets[i]))
+	}
+	return out
+}
+
+// toBitset converts a NodeSet (dropping unknown nodes).
+func (sys *isystem) toBitset(s fba.NodeSet) bitset {
+	b := newBitset(len(sys.ids))
+	for id := range s {
+		if i, ok := sys.index[id]; ok {
+			b.set(i)
+		}
+	}
+	return b
+}
+
+// toNodeSet converts back to a NodeSet.
+func (sys *isystem) toNodeSet(b bitset) fba.NodeSet {
+	out := make(fba.NodeSet)
+	b.forEach(func(i int) { out.Add(sys.ids[i]) })
+	return out
+}
+
+// maxQuorum computes the greatest fixpoint: the largest quorum contained in
+// candidate (possibly empty). The result aliases fresh storage.
+func (sys *isystem) maxQuorum(candidate bitset) bitset {
+	cur := candidate.copy()
+	for {
+		removed := false
+		cur.forEach(func(i int) {
+			if !sys.qs[i].satisfiedBy(cur) {
+				cur.clear(i)
+				removed = true
+			}
+		})
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// isQuorumBits reports whether b is a non-empty quorum.
+func (sys *isystem) isQuorumBits(b bitset) bool {
+	if b.empty() {
+		return false
+	}
+	ok := true
+	b.forEach(func(i int) {
+		if !sys.qs[i].satisfiedBy(b) {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,114 @@
+package quorum
+
+import (
+	"sort"
+
+	"stellar/internal/fba"
+)
+
+// Criticality analysis (paper §6.2.2): detect when the collective
+// configuration is one misconfiguration away from admitting disjoint
+// quorums. For each organization, the checker replaces the org's validator
+// configurations with a simulated worst case — each validator becomes
+// "malleable", satisfied by any single other node in the network, so it
+// will happily complete a quorum on either side of a potential split — and
+// re-runs the intersection checker. Organizations whose worst-case
+// misconfiguration breaks intersection are reported as critical.
+//
+// The malleable model (rather than, say, a singleton self-quorum) captures
+// the §6 incident: the risk is a split of the real network enabled by one
+// org's misconfiguration, where both sides contain honest participants. A
+// self-quorum model would make a lone misconfigured node a "quorum" by
+// itself and flag every organization, drowning the signal.
+
+// Org groups the validators run by one organization.
+type Org struct {
+	Name       string
+	Validators []fba.NodeID
+}
+
+// CriticalityReport lists organizations posing a misconfiguration risk.
+type CriticalityReport struct {
+	// Critical holds the names of orgs whose worst-case misconfiguration
+	// admits disjoint quorums.
+	Critical []string
+	// Checks counts intersection checks performed.
+	Checks int
+}
+
+// AnyCritical reports whether any organization is critical.
+func (r CriticalityReport) AnyCritical() bool { return len(r.Critical) > 0 }
+
+// CheckCriticality runs the §6.2.2 analysis over the given orgs.
+func CheckCriticality(qsets fba.QuorumSets, orgs []Org) CriticalityReport {
+	var rep CriticalityReport
+	for _, org := range orgs {
+		mis := worstCaseMisconfig(qsets, org.Validators)
+		rep.Checks++
+		res := CheckIntersection(mis)
+		if res.HasQuorum && !res.Intersects {
+			rep.Critical = append(rep.Critical, org.Name)
+		}
+	}
+	sort.Strings(rep.Critical)
+	return rep
+}
+
+// worstCaseMisconfig returns a copy of qsets where each listed validator
+// has been made malleable: its quorum set is satisfied by any single node
+// outside the group, so it imposes no agreement requirements of its own and
+// can join either side of a split — but it cannot form a quorum together
+// with only other group members.
+func worstCaseMisconfig(qsets fba.QuorumSets, validators []fba.NodeID) fba.QuorumSets {
+	group := fba.NewNodeSet(validators...)
+	var others []fba.NodeID
+	for id := range qsets {
+		if !group.Has(id) {
+			others = append(others, id)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+	out := make(fba.QuorumSets, len(qsets))
+	for id, q := range qsets {
+		out[id] = q
+	}
+	if len(others) == 0 {
+		return out // the group is the whole network; nothing to model
+	}
+	malleable := fba.QuorumSet{Threshold: 1, Validators: others}
+	for _, v := range validators {
+		if _, known := out[v]; !known {
+			continue
+		}
+		out[v] = &malleable
+	}
+	return out
+}
+
+// GroupByPrefix infers organizations from node IDs of the form
+// "<org>-<n>", a convenience for simulated topologies.
+func GroupByPrefix(qsets fba.QuorumSets) []Org {
+	groups := make(map[string][]fba.NodeID)
+	for id := range qsets {
+		name := string(id)
+		for i := len(name) - 1; i >= 0; i-- {
+			if name[i] == '-' {
+				name = name[:i]
+				break
+			}
+		}
+		groups[name] = append(groups[name], id)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Org, 0, len(names))
+	for _, n := range names {
+		vs := groups[n]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		out = append(out, Org{Name: n, Validators: vs})
+	}
+	return out
+}

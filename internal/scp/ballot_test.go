@@ -1,0 +1,207 @@
+package scp
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+)
+
+// Direct unit coverage of the ballot-protocol statement predicates — the
+// compressed encodings of which abstract prepare/commit statements a node
+// votes for and accepts (§3.2.1 and msg.go's documentation).
+
+func bal(n uint32, v string) Ballot { return Ballot{Counter: n, Value: Value(v)} }
+
+func TestStVotesOrAcceptsPrepared(t *testing.T) {
+	prep := &Statement{Type: StmtPrepare, Ballot: bal(3, "x")}
+	if !stVotesOrAcceptsPrepared(prep, bal(2, "x")) {
+		t.Fatal("PREPARE should vote prepare for lower compatible ballots")
+	}
+	if stVotesOrAcceptsPrepared(prep, bal(4, "x")) {
+		t.Fatal("PREPARE votes prepare only up to its current ballot")
+	}
+	if stVotesOrAcceptsPrepared(prep, bal(2, "y")) {
+		t.Fatal("PREPARE must not vote prepare for incompatible ballots")
+	}
+
+	conf := &Statement{Type: StmtConfirm, Ballot: bal(3, "x"), NPrepared: 3, NC: 1, NH: 3}
+	if !stVotesOrAcceptsPrepared(conf, bal(1000, "x")) {
+		t.Fatal("CONFIRM votes prepare(⟨∞,x⟩): any compatible counter")
+	}
+	if stVotesOrAcceptsPrepared(conf, bal(1, "y")) {
+		t.Fatal("CONFIRM must not vote prepare for other values")
+	}
+
+	ext := &Statement{Type: StmtExternalize, Ballot: bal(2, "x"), NH: 2}
+	if !stVotesOrAcceptsPrepared(ext, bal(999, "x")) {
+		t.Fatal("EXTERNALIZE confirmed prepare(⟨∞,x⟩)")
+	}
+}
+
+func TestStAcceptsPrepared(t *testing.T) {
+	p := bal(5, "x")
+	pp := bal(3, "y")
+	prep := &Statement{Type: StmtPrepare, Ballot: bal(6, "x"), Prepared: &p, PreparedPrime: &pp}
+	if !stAcceptsPrepared(prep, bal(4, "x")) {
+		t.Fatal("accepts prepared below p, compatible")
+	}
+	if !stAcceptsPrepared(prep, bal(2, "y")) {
+		t.Fatal("accepts prepared below p', compatible")
+	}
+	if stAcceptsPrepared(prep, bal(6, "x")) {
+		t.Fatal("does not accept above p")
+	}
+	if stAcceptsPrepared(prep, bal(4, "z")) {
+		t.Fatal("does not accept unrelated values")
+	}
+
+	conf := &Statement{Type: StmtConfirm, Ballot: bal(7, "x"), NPrepared: 5, NC: 1, NH: 7}
+	if !stAcceptsPrepared(conf, bal(5, "x")) || stAcceptsPrepared(conf, bal(6, "x")) {
+		t.Fatal("CONFIRM accepts prepared up to nPrepared only")
+	}
+}
+
+func TestStVotesAndAcceptsCommit(t *testing.T) {
+	prep := &Statement{Type: StmtPrepare, Ballot: bal(5, "x"), NC: 2, NH: 4}
+	if !stVotesCommit(prep, Value("x"), 2, 4) || !stVotesCommit(prep, Value("x"), 3, 3) {
+		t.Fatal("PREPARE votes commit within [nC,nH]")
+	}
+	if stVotesCommit(prep, Value("x"), 1, 4) || stVotesCommit(prep, Value("x"), 2, 5) {
+		t.Fatal("PREPARE does not vote commit outside [nC,nH]")
+	}
+	if stAcceptsCommit(prep, Value("x"), 2, 4) {
+		t.Fatal("PREPARE never accepts commit")
+	}
+
+	conf := &Statement{Type: StmtConfirm, Ballot: bal(9, "x"), NPrepared: 9, NC: 3, NH: 7}
+	if !stVotesCommit(conf, Value("x"), 3, 100) {
+		t.Fatal("CONFIRM votes commit for all n ≥ nC")
+	}
+	if !stAcceptsCommit(conf, Value("x"), 3, 7) || stAcceptsCommit(conf, Value("x"), 3, 8) {
+		t.Fatal("CONFIRM accepts commit within [nC,nH] only")
+	}
+
+	ext := &Statement{Type: StmtExternalize, Ballot: bal(4, "x"), NH: 6}
+	if !stAcceptsCommit(ext, Value("x"), 4, 10_000) {
+		t.Fatal("EXTERNALIZE accepts commit for all n ≥ c.n")
+	}
+	if stAcceptsCommit(ext, Value("x"), 3, 5) {
+		t.Fatal("EXTERNALIZE does not accept commit below c.n")
+	}
+}
+
+func TestWorkingBallotCounter(t *testing.T) {
+	if (&Statement{Type: StmtPrepare, Ballot: bal(3, "x")}).workingBallotCounter() != 3 {
+		t.Fatal("PREPARE counter")
+	}
+	if (&Statement{Type: StmtExternalize, Ballot: bal(3, "x")}).workingBallotCounter() != InfCounter {
+		t.Fatal("EXTERNALIZE counts as ∞ for ballot sync")
+	}
+	if (&Statement{Type: StmtNominate}).workingBallotCounter() != 0 {
+		t.Fatal("NOMINATE has no ballot")
+	}
+}
+
+func TestSetPreparedTransitions(t *testing.T) {
+	h := newHarness(1, 77, majorityAll)
+	s := h.nodes[h.ids[0]].Slot(1)
+
+	// First accept.
+	if !s.setPrepared(bal(2, "x")) || s.p == nil || !s.p.Equal(bal(2, "x")) {
+		t.Fatal("first setPrepared")
+	}
+	// Higher compatible: p moves, no p'.
+	if !s.setPrepared(bal(4, "x")) || s.pPrime != nil {
+		t.Fatalf("compatible raise created p': %v", s.pPrime)
+	}
+	// Higher incompatible: old p becomes p'.
+	if !s.setPrepared(bal(5, "y")) {
+		t.Fatal("incompatible raise rejected")
+	}
+	if !s.p.Equal(bal(5, "y")) || s.pPrime == nil || !s.pPrime.Equal(bal(4, "x")) {
+		t.Fatalf("p/p' after incompatible raise: %v / %v", s.p, s.pPrime)
+	}
+	// Lower incompatible than p but above p': replaces p'.
+	if s.setPrepared(bal(3, "x")) {
+		t.Fatal("lower than existing p' for same value x accepted?")
+	}
+	// Same ballot: no work.
+	if s.setPrepared(bal(5, "y")) {
+		t.Fatal("idempotent setPrepared did work")
+	}
+}
+
+func TestSetPreparedAbortsCommitVotes(t *testing.T) {
+	h := newHarness(1, 78, majorityAll)
+	s := h.nodes[h.ids[0]].Slot(1)
+	// Voting commit for ⟨2..2, x⟩.
+	s.b = bal(2, "x")
+	s.c = bal(2, "x")
+	s.h = bal(2, "x")
+	// Accepting prepare(⟨3, y⟩) aborts ⟨2, x⟩: c must reset.
+	if !s.setPrepared(bal(3, "y")) {
+		t.Fatal("setPrepared rejected")
+	}
+	if s.c.Counter != 0 {
+		t.Fatalf("commit votes not aborted: c=%v", s.c)
+	}
+}
+
+func TestPrepareCandidatesOrderedAndDeduped(t *testing.T) {
+	h := newHarness(2, 79, majorityAll)
+	s := h.nodes[h.ids[0]].Slot(1)
+	p := bal(2, "a")
+	envs := []*Envelope{
+		{Node: h.ids[1], Slot: 1, Seq: 1, QSet: h.nodes[h.ids[1]].LocalQuorumSet(),
+			Statement: Statement{Type: StmtPrepare, Ballot: bal(3, "b"), Prepared: &p}},
+	}
+	for _, e := range envs {
+		h.drivers[h.ids[1]].SignEnvelope(e)
+		s.latestBallot[e.Node] = e
+	}
+	cands := s.prepareCandidates()
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].Less(cands[1]) {
+		t.Fatal("candidates not descending")
+	}
+}
+
+func TestNominationRetryEcho(t *testing.T) {
+	// A leader's vote that was unvotable at receipt (the validator
+	// returned MaybeValid — e.g. a tx set still in flight, §5.3) becomes
+	// votable later; RetryEcho must pick it up. Node 0 temporarily
+	// considers every value merely MaybeValid, so nomination stalls with
+	// no candidates; then validity flips and RetryEcho unblocks it.
+	h := newHarness(2, 80, majorityAll)
+	n0 := h.nodes[h.ids[0]]
+
+	gated := Value("gated-value")
+	blocked := true
+	h.validateHook = func(id fba.NodeID, v Value) ValidationLevel {
+		if id == h.ids[0] && blocked {
+			return ValueMaybeValid
+		}
+		return ValueFullyValid
+	}
+
+	// Force node 1 to consider itself a leader so it votes its proposal
+	// (leader election could otherwise pick node 0 for this slot).
+	h.nodes[h.ids[1]].Slot(1).leaders.Add(h.ids[1])
+	h.nodes[h.ids[1]].Nominate(1, gated)
+	n0.Nominate(1, Value("own-value"))
+	h.net.RunFor(50 * time.Millisecond)
+	if n0.Slot(1).votes.Has(gated) || len(n0.Slot(1).Candidates()) != 0 {
+		t.Fatal("setup: node 0 voted or confirmed while gated")
+	}
+	// Ensure node 1 is a leader from node 0's perspective for the echo.
+	n0.Slot(1).leaders.Add(h.ids[1])
+
+	blocked = false
+	n0.RetryEcho(1)
+	if !n0.Slot(1).votes.Has(gated) {
+		t.Fatal("RetryEcho did not pick up the now-valid value")
+	}
+}

@@ -1,0 +1,100 @@
+package scp
+
+import (
+	"encoding/binary"
+
+	"stellar/internal/fba"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// Federated leader selection (paper §3.2.5). Each nomination round uses two
+// keyed hash functions H0 and H1 over node IDs:
+//
+//	neighbors(u) = { v | H0(v) < hmax · weight(u,v) }
+//	priority(v)  = H1(v)
+//
+// where weight(u,v) is the fraction of u's quorum slices containing v. Each
+// round the node adds the highest-priority neighbor to its leader set; if
+// the neighbor set is empty it falls back to the node minimizing
+// H0(v)/weight(u,v). The leader set only grows, accommodating failures.
+
+// hashNode computes H_i(v) for the given slot and round as a uint64 drawn
+// from SHA-256, following the paper's Hi(m) = SHA256(i ∥ b ∥ r ∥ m) with
+// hmax = 2^64 here (we use the hash's first 8 bytes; only ratios matter).
+func hashNode(i uint32, networkID stellarcrypto.Hash, slot uint64, round int, v fba.NodeID) uint64 {
+	e := xdr.NewEncoder(64)
+	e.PutUint32(i)
+	e.PutFixed(networkID[:])
+	e.PutUint64(slot)
+	e.PutUint32(uint32(round))
+	e.PutString(string(v))
+	h := stellarcrypto.HashBytes(e.Bytes())
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+const hmax = ^uint64(0)
+
+// isNeighbor reports whether v is in neighbors(u) for the round: H0(v)
+// scaled against weight(u,v).
+func isNeighbor(networkID stellarcrypto.Hash, slot uint64, round int, qset *fba.QuorumSet, self, v fba.NodeID) bool {
+	w := nodeWeight(qset, self, v)
+	if w <= 0 {
+		return false
+	}
+	h := hashNode(0, networkID, slot, round, v)
+	// Compare h < hmax·w without overflow by scaling into float64; the
+	// comparison only needs ~52 bits of precision, ample for selection.
+	return float64(h) < float64(hmax)*w
+}
+
+// nodeWeight is weight(u,v) with the convention that a node always fully
+// trusts itself (weight 1), as stellar-core does.
+func nodeWeight(qset *fba.QuorumSet, self, v fba.NodeID) float64 {
+	if v == self {
+		return 1
+	}
+	return qset.Weight(v)
+}
+
+// priority computes H1(v) for the round.
+func priority(networkID stellarcrypto.Hash, slot uint64, round int, v fba.NodeID) uint64 {
+	return hashNode(1, networkID, slot, round, v)
+}
+
+// roundLeader picks the leader contributed by the given round: the
+// highest-priority neighbor, or the weight-scaled minimum H0 fallback when
+// no node qualifies as a neighbor.
+func roundLeader(networkID stellarcrypto.Hash, slot uint64, round int, qset *fba.QuorumSet, self fba.NodeID) fba.NodeID {
+	candidates := qset.Members()
+	candidates.Add(self)
+
+	var best fba.NodeID
+	var bestPriority uint64
+	found := false
+	for _, v := range candidates.Sorted() {
+		if !isNeighbor(networkID, slot, round, qset, self, v) {
+			continue
+		}
+		p := priority(networkID, slot, round, v)
+		if !found || p > bestPriority || (p == bestPriority && v < best) {
+			best, bestPriority, found = v, p, true
+		}
+	}
+	if found {
+		return best
+	}
+	// Fallback: lowest H0(v)/weight(u,v) (paper §3.2.5).
+	var bestScore float64
+	for _, v := range candidates.Sorted() {
+		w := nodeWeight(qset, self, v)
+		if w <= 0 {
+			continue
+		}
+		score := float64(hashNode(0, networkID, slot, round, v)) / w
+		if !found || score < bestScore || (score == bestScore && v < best) {
+			best, bestScore, found = v, score, true
+		}
+	}
+	return best
+}

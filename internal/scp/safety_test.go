@@ -1,0 +1,219 @@
+package scp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/simnet"
+)
+
+// Randomized safety stress: across many seeds, inject faults (message
+// loss, crashes, equivocation) and verify the core SCP guarantee — no two
+// intertwined well-behaved nodes ever externalize different values. These
+// tests stand in for the paper's Ivy verification (§4) at the level our
+// budget allows: exhaustive small cases plus randomized larger ones.
+
+func TestSafetyRandomizedLossAndCrashes(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newHarness(6, seed, majorityAll)
+			rng := rand.New(rand.NewSource(seed))
+			h.net.SetDropRate(0.05 + rng.Float64()*0.1)
+			h.nominateAll(1)
+
+			// Random crash/revive churn of at most one node at a time
+			// (staying within the fault tolerance of majority slices).
+			var down simnet.Addr
+			for step := 0; step < 30; step++ {
+				h.net.RunFor(2 * time.Second)
+				h.resendAll(1)
+				if down != "" {
+					h.net.SetUp(down)
+					down = ""
+				} else if rng.Intn(2) == 0 {
+					down = simnet.Addr(h.ids[rng.Intn(len(h.ids))])
+					h.net.SetDown(down)
+				}
+			}
+			if down != "" {
+				h.net.SetUp(down)
+			}
+			for i := 0; i < 10; i++ {
+				h.net.RunFor(3 * time.Second)
+				h.resendAll(1)
+			}
+			// Safety: whoever decided, decided the same thing.
+			if _, err := h.agreeCount(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSafetyBallotEquivocation(t *testing.T) {
+	// A Byzantine node equivocates at the ballot layer: different ballot
+	// values to different peers. With 4 nodes and majority slices
+	// (f = 1), honest nodes must not diverge.
+	for seed := int64(200); seed < 208; seed++ {
+		h := newHarness(4, seed, majorityAll)
+		evil := h.ids[3]
+		h.drivers[evil].faulty = func(env *Envelope, to simnet.Addr) *Envelope {
+			if env.Statement.Type == StmtNominate {
+				return env
+			}
+			forged := *env
+			forged.Statement.Ballot.Value = Value("evil-" + string(to))
+			// Strip fields that would now violate statement sanity.
+			forged.Statement.Prepared = nil
+			forged.Statement.PreparedPrime = nil
+			forged.Statement.NC = 0
+			forged.Statement.NH = 0
+			if forged.Statement.Type != StmtPrepare {
+				forged.Statement.Type = StmtPrepare
+			}
+			h.drivers[evil].SignEnvelope(&forged)
+			return &forged
+		}
+		h.nominateAll(1)
+		for i := 0; i < 20; i++ {
+			h.net.RunFor(3 * time.Second)
+			h.resendAll(1)
+		}
+		var ref Value
+		for _, id := range h.ids[:3] {
+			v := h.drivers[id].outs[1]
+			if v == nil {
+				continue
+			}
+			if ref == nil {
+				ref = v
+			} else if !ref.Equal(v) {
+				t.Fatalf("seed %d: honest divergence under ballot equivocation", seed)
+			}
+		}
+	}
+}
+
+func TestSafetyAsymmetricSlices(t *testing.T) {
+	// Heterogeneous configuration: node 0 is in everyone's slices but
+	// has a small slice itself. Agreement must still hold among the
+	// intertwined set.
+	qsetFor := func(i int, all []fba.NodeID) fba.QuorumSet {
+		if i == 0 {
+			return fba.Majority(all[:3]...)
+		}
+		// Everyone else requires node 0 plus a majority of the rest.
+		return fba.QuorumSet{
+			Threshold:  2,
+			Validators: []fba.NodeID{all[0]},
+			InnerSets:  []fba.QuorumSet{fba.Majority(all[1:]...)},
+		}
+	}
+	h := newHarness(5, 300, qsetFor)
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("only %d of 5 decided in asymmetric topology", n)
+	}
+}
+
+func TestLivenessAfterLeaderCrash(t *testing.T) {
+	// Crash whichever node is most likely the round-1 nomination leader;
+	// rounds escalate and the network still decides.
+	h := newHarness(5, 301, majorityAll)
+	// Determine the slot-1 round-1 leader from node 0's perspective.
+	q := h.nodes[h.ids[0]].LocalQuorumSet()
+	leader := LeaderForRound(h.nodes[h.ids[0]].networkID, 1, 1, &q, h.ids[0])
+	h.net.SetDown(simnet.Addr(leader))
+	for i, id := range h.ids {
+		if id == leader {
+			continue
+		}
+		h.nodes[id].Nominate(1, Value(fmt.Sprintf("v%d", i)))
+	}
+	h.net.RunUntil(120 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("%d of 4 live nodes decided after leader crash", n)
+	}
+}
+
+func TestDivergentPartitionsNeverAgreeButNeverConflictInternally(t *testing.T) {
+	// Two disjoint cliques (not intertwined): the FBA model permits them
+	// to decide differently (§3.1 — "different partitions may output
+	// divergent decisions"). Verify each clique is internally consistent.
+	qsetFor := func(i int, all []fba.NodeID) fba.QuorumSet {
+		if i < 3 {
+			return fba.Majority(all[:3]...)
+		}
+		return fba.Majority(all[3:]...)
+	}
+	h := newHarness(6, 302, qsetFor)
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	check := func(ids []fba.NodeID) {
+		var ref Value
+		for _, id := range ids {
+			v := h.drivers[id].outs[1]
+			if v == nil {
+				t.Fatalf("clique member %s undecided", id)
+			}
+			if ref == nil {
+				ref = v
+			} else if !ref.Equal(v) {
+				t.Fatal("intra-clique divergence")
+			}
+		}
+	}
+	check(h.ids[:3])
+	check(h.ids[3:])
+}
+
+func TestStaleEnvelopesIgnored(t *testing.T) {
+	// Replaying a node's older envelope (lower seq) must not regress
+	// peers' views.
+	h := newHarness(3, 303, majorityAll)
+	h.nominateAll(1)
+	h.net.RunUntil(30 * time.Second)
+	if n, _ := h.agreeCount(1); n != 3 {
+		t.Skip("setup did not converge")
+	}
+	// Capture and replay a stale nomination envelope.
+	stale := &Envelope{
+		Node: h.ids[1], Slot: 1, Seq: 1,
+		QSet:      fba.Majority(h.ids...),
+		Statement: Statement{Type: StmtNominate, Votes: []Value{Value("stale")}},
+	}
+	h.drivers[h.ids[1]].SignEnvelope(stale)
+	before := h.externalizedValues(1)
+	if err := h.nodes[h.ids[0]].Receive(stale); err != nil {
+		t.Fatalf("stale envelope errored: %v", err)
+	}
+	h.net.RunUntil(40 * time.Second)
+	after := h.externalizedValues(1)
+	for id := range before {
+		if !before[id].Equal(after[id]) {
+			t.Fatal("stale replay changed a decision")
+		}
+	}
+}
+
+func TestTimeoutsGrowWithBallotCounter(t *testing.T) {
+	if d1, d5 := DefaultBallotTimeout(1), DefaultBallotTimeout(5); d5 <= d1 {
+		t.Fatalf("ballot timeout not growing: %v vs %v", d1, d5)
+	}
+	if d1, d5 := DefaultNominationTimeout(1), DefaultNominationTimeout(5); d5 <= d1 {
+		t.Fatalf("nomination timeout not growing: %v vs %v", d1, d5)
+	}
+}

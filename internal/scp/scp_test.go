@@ -1,0 +1,426 @@
+package scp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+func TestBallotOrdering(t *testing.T) {
+	a := Ballot{Counter: 1, Value: Value("a")}
+	b := Ballot{Counter: 1, Value: Value("b")}
+	c := Ballot{Counter: 2, Value: Value("a")}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Fatal("ballot ordering broken")
+	}
+	if !a.Compatible(c) || a.Compatible(b) {
+		t.Fatal("compatibility broken")
+	}
+	if !a.LessAndCompatible(c) || a.LessAndCompatible(b) {
+		t.Fatal("LessAndCompatible broken")
+	}
+	if !a.LessAndIncompatible(b) || a.LessAndIncompatible(c) {
+		t.Fatal("LessAndIncompatible broken")
+	}
+}
+
+func TestValueSet(t *testing.T) {
+	var s ValueSet
+	if !s.Add(Value("b")) || !s.Add(Value("a")) || s.Add(Value("a")) {
+		t.Fatal("Add results wrong")
+	}
+	if !s.Has(Value("a")) || s.Has(Value("zzz")) {
+		t.Fatal("Has wrong")
+	}
+	vals := s.Values()
+	if len(vals) != 2 || !vals[0].Equal(Value("a")) || !vals[1].Equal(Value("b")) {
+		t.Fatalf("values not sorted/deduped: %v", vals)
+	}
+}
+
+func TestStatementSanity(t *testing.T) {
+	cases := []struct {
+		name string
+		st   Statement
+		ok   bool
+	}{
+		{"empty nominate", Statement{Type: StmtNominate}, false},
+		{"nominate with vote", Statement{Type: StmtNominate, Votes: []Value{Value("x")}}, true},
+		{"prepare zero counter", Statement{Type: StmtPrepare}, false},
+		{"prepare ok", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 1, Value: Value("x")}}, true},
+		{"prepare nH>b", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 1, Value: Value("x")}, NH: 2}, false},
+		{"prepare nC>nH", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 5, Value: Value("x")}, NC: 3, NH: 2}, false},
+		{"prepare p' without p", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 1, Value: Value("x")},
+			PreparedPrime: &Ballot{Counter: 1, Value: Value("y")}}, false},
+		{"prepare p' compatible with p", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 2, Value: Value("x")},
+			Prepared: &Ballot{Counter: 2, Value: Value("x")}, PreparedPrime: &Ballot{Counter: 1, Value: Value("x")}}, false},
+		{"prepare p and incompatible p'", Statement{Type: StmtPrepare, Ballot: Ballot{Counter: 2, Value: Value("x")},
+			Prepared: &Ballot{Counter: 2, Value: Value("x")}, PreparedPrime: &Ballot{Counter: 1, Value: Value("y")}}, true},
+		{"confirm ok", Statement{Type: StmtConfirm, Ballot: Ballot{Counter: 3, Value: Value("x")}, NPrepared: 3, NC: 1, NH: 3}, true},
+		{"confirm nC=0", Statement{Type: StmtConfirm, Ballot: Ballot{Counter: 3, Value: Value("x")}, NH: 3}, false},
+		{"externalize ok", Statement{Type: StmtExternalize, Ballot: Ballot{Counter: 1, Value: Value("x")}, NH: 1}, true},
+		{"externalize nH<c.n", Statement{Type: StmtExternalize, Ballot: Ballot{Counter: 2, Value: Value("x")}, NH: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.st.sane()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: sane() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestFindExtendedInterval(t *testing.T) {
+	// pred: intervals within [2, 5] acceptable.
+	pred := func(lo, hi uint32) bool { return lo >= 2 && hi <= 5 }
+	lo, hi, ok := findExtendedInterval([]uint32{1, 2, 3, 5, 7}, pred)
+	if !ok || lo != 2 || hi != 5 {
+		t.Fatalf("interval = [%d,%d] ok=%v, want [2,5]", lo, hi, ok)
+	}
+	_, _, ok = findExtendedInterval([]uint32{7, 9}, pred)
+	if ok {
+		t.Fatal("found interval where none valid")
+	}
+	lo, hi, ok = findExtendedInterval(nil, pred)
+	if ok {
+		t.Fatal("found interval in empty boundaries")
+	}
+	_ = lo
+	_ = hi
+}
+
+func TestEnvelopeSigningPayloadDeterministic(t *testing.T) {
+	env := &Envelope{
+		Node: "n1", Slot: 3, Seq: 7,
+		QSet:      fba.Majority("n1", "n2", "n3"),
+		Statement: Statement{Type: StmtNominate, Votes: []Value{Value("v")}},
+	}
+	a := env.SigningPayload()
+	b := env.SigningPayload()
+	if string(a) != string(b) {
+		t.Fatal("payload not deterministic")
+	}
+	env.Seq = 8
+	if string(env.SigningPayload()) == string(a) {
+		t.Fatal("payload ignores seq")
+	}
+}
+
+func TestLeaderSelectionDeterministic(t *testing.T) {
+	q := fba.Majority("a", "b", "c", "d")
+	nid := stellarcrypto.HashBytes([]byte("net"))
+	l1 := roundLeader(nid, 1, 1, &q, "a")
+	l2 := roundLeader(nid, 1, 1, &q, "a")
+	if l1 != l2 {
+		t.Fatal("leader selection nondeterministic")
+	}
+	// Different slots should (generally) pick different leaders over many
+	// slots; verify at least two distinct leaders across 20 slots.
+	seen := map[fba.NodeID]bool{}
+	for slot := uint64(1); slot <= 20; slot++ {
+		seen[roundLeader(nid, slot, 1, &q, "a")] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("leader never rotates: %v", seen)
+	}
+}
+
+func TestLeaderSelectionAgreesAcrossNodes(t *testing.T) {
+	// With unanimous quorum sets every weight is 1, so all nodes see the
+	// same neighbor set and compute the same leader. (With non-unanimous
+	// sets views may differ, since a node always weighs itself fully —
+	// the protocol tolerates a small number of simultaneous leaders.)
+	all := []fba.NodeID{"a", "b", "c", "d"}
+	q := fba.All(all...)
+	nid := stellarcrypto.HashBytes([]byte("net"))
+	for slot := uint64(1); slot <= 10; slot++ {
+		ref := roundLeader(nid, slot, 1, &q, all[0])
+		for _, self := range all[1:] {
+			if got := roundLeader(nid, slot, 1, &q, self); got != ref {
+				t.Fatalf("slot %d: node %s picked %s, node %s picked %s",
+					slot, all[0], ref, self, got)
+			}
+		}
+	}
+}
+
+// TestLeaderWeightImbalance reproduces the §3.2.5 Europe/China example in
+// miniature: the weight function keeps selection frequency proportional to
+// slice weight rather than node count.
+func TestLeaderWeightImbalance(t *testing.T) {
+	// Org A has 2 nodes, org B has 20, but each org is one inner set with
+	// equal weight. Per-node weight in A (1/2 · 1/2 = 1/4 with 1-of-2
+	// inner threshold) exceeds per-node weight in B (1/2 · 1/20).
+	var aNodes, bNodes []fba.NodeID
+	for i := 0; i < 2; i++ {
+		aNodes = append(aNodes, fba.NodeID(fmt.Sprintf("a%02d", i)))
+	}
+	for i := 0; i < 20; i++ {
+		bNodes = append(bNodes, fba.NodeID(fmt.Sprintf("b%02d", i)))
+	}
+	q := fba.QuorumSet{
+		Threshold: 2,
+		InnerSets: []fba.QuorumSet{
+			{Threshold: 1, Validators: aNodes},
+			{Threshold: 1, Validators: bNodes},
+		},
+	}
+	nid := stellarcrypto.HashBytes([]byte("imbalance"))
+	aWins, bWins := 0, 0
+	for slot := uint64(1); slot <= 400; slot++ {
+		l := roundLeader(nid, slot, 1, &q, "self")
+		if l[0] == 'a' {
+			aWins++
+		} else if l[0] == 'b' {
+			bWins++
+		}
+	}
+	// Strawman highest-priority would give org B ≈ 10× org A's wins; the
+	// weighted scheme keeps org A competitive (within 3×).
+	if aWins == 0 || bWins > aWins*3 {
+		t.Fatalf("weighting failed: org A won %d, org B won %d", aWins, bWins)
+	}
+}
+
+// --- end-to-end consensus tests ---
+
+func TestConsensusFourNodes(t *testing.T) {
+	h := newHarness(4, 1, majorityAll)
+	h.nominateAll(1)
+	h.net.RunUntil(30 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("%d of 4 nodes externalized; values=%v", n, h.externalizedValues(1))
+	}
+}
+
+func TestConsensusManyNodes(t *testing.T) {
+	h := newHarness(10, 2, majorityAll)
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("%d of 10 nodes externalized", n)
+	}
+}
+
+func TestConsensusToleratesOneCrash(t *testing.T) {
+	h := newHarness(4, 3, majorityAll)
+	h.net.SetDown(simnet.Addr(h.ids[3]))
+	h.nominateAllExcept(1, 3)
+	h.net.RunUntil(60 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("%d of 3 live nodes externalized", n)
+	}
+}
+
+func TestNoLivenessWithTwoCrashes(t *testing.T) {
+	h := newHarness(4, 4, majorityAll)
+	h.net.SetDown(simnet.Addr(h.ids[2]))
+	h.net.SetDown(simnet.Addr(h.ids[3]))
+	h.nominateAllExcept(1, 2, 3)
+	h.net.RunUntil(30 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err) // safety must hold even when liveness is lost
+	}
+	if n != 0 {
+		t.Fatalf("externalized with quorum unavailable (n=%d)", n)
+	}
+}
+
+func TestLateNodeCatchesUpViaCascade(t *testing.T) {
+	h := newHarness(4, 5, majorityAll)
+	late := h.ids[3]
+	h.net.SetDown(simnet.Addr(late))
+	h.nominateAllExcept(1, 3)
+	h.net.RunUntil(60 * time.Second)
+	if n, _ := h.agreeCount(1); n != 3 {
+		t.Fatalf("setup: %d of 3 externalized", n)
+	}
+	// Revive the laggard; peers re-broadcast their latest envelopes (the
+	// overlay's job in the full system). The cascade theorem brings it to
+	// the same decision.
+	h.net.SetUp(simnet.Addr(late))
+	h.resendAll(1)
+	h.net.RunUntil(90 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("late node did not catch up (n=%d)", n)
+	}
+}
+
+func TestSafetyUnderEquivocation(t *testing.T) {
+	// Node 3 equivocates: it sends different nomination votes to
+	// different peers. Intertwined honest nodes must still agree.
+	h := newHarness(4, 6, majorityAll)
+	evil := h.ids[3]
+	h.drivers[evil].faulty = func(env *Envelope, to simnet.Addr) *Envelope {
+		if env.Statement.Type != StmtNominate {
+			return env
+		}
+		forged := *env
+		forged.Statement.Votes = []Value{Value("evil-for-" + string(to))}
+		forged.Statement.Accepted = nil
+		h.drivers[evil].SignEnvelope(&forged)
+		return &forged
+	}
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	// Count only honest nodes.
+	var ref Value
+	agreed := 0
+	for _, id := range h.ids[:3] {
+		v := h.drivers[id].outs[1]
+		if v == nil {
+			continue
+		}
+		if ref == nil {
+			ref = v
+		} else if !ref.Equal(v) {
+			t.Fatalf("honest divergence: %s vs %s", ref, v)
+		}
+		agreed++
+	}
+	if agreed != 3 {
+		t.Fatalf("only %d of 3 honest nodes decided", agreed)
+	}
+}
+
+func TestConsensusUnderMessageLoss(t *testing.T) {
+	h := newHarness(4, 7, majorityAll)
+	h.net.SetDropRate(0.10)
+	h.nominateAll(1)
+	// With loss, retransmission comes from statement-change emissions and
+	// ballot timeouts; give it more virtual time and periodic resends
+	// (the overlay's anti-entropy).
+	for i := 0; i < 40; i++ {
+		h.net.RunFor(3 * time.Second)
+		h.resendAll(1)
+		if n, _ := h.agreeCount(1); n == 4 {
+			break
+		}
+	}
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("%d of 4 externalized under 10%% loss", n)
+	}
+}
+
+func TestMultipleSlots(t *testing.T) {
+	h := newHarness(4, 8, majorityAll)
+	for slot := uint64(1); slot <= 5; slot++ {
+		h.nominateAll(slot)
+		h.net.RunFor(30 * time.Second)
+		n, err := h.agreeCount(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 4 {
+			t.Fatalf("slot %d: %d of 4 externalized", slot, n)
+		}
+	}
+	// Purge old slots.
+	for _, id := range h.ids {
+		h.nodes[id].PurgeBelow(4)
+		if h.nodes[id].HasSlot(2) {
+			t.Fatal("purged slot still present")
+		}
+		if !h.nodes[id].HasSlot(5) {
+			t.Fatal("live slot purged")
+		}
+	}
+}
+
+func TestTieredQuorumConsensus(t *testing.T) {
+	// 3 orgs of 3 nodes; everyone requires 2 of 3 orgs, each org 2 of 3.
+	qsetFor := func(i int, all []fba.NodeID) fba.QuorumSet {
+		var orgs []fba.QuorumSet
+		for o := 0; o < 3; o++ {
+			orgs = append(orgs, fba.Majority(all[o*3:o*3+3]...))
+		}
+		return fba.QuorumSet{Threshold: 2, InnerSets: orgs}
+	}
+	h := newHarness(9, 9, qsetFor)
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("%d of 9 externalized", n)
+	}
+}
+
+func TestExternalizeIsFinal(t *testing.T) {
+	h := newHarness(4, 10, majorityAll)
+	h.nominateAll(1)
+	h.net.RunUntil(30 * time.Second)
+	if n, _ := h.agreeCount(1); n != 4 {
+		t.Skip("setup did not converge")
+	}
+	// Re-nominating after externalization must not change the decision.
+	before := h.externalizedValues(1)
+	h.nominateAll(1)
+	h.net.RunUntil(60 * time.Second)
+	after := h.externalizedValues(1)
+	for id, v := range before {
+		if !v.Equal(after[id]) {
+			t.Fatalf("decision changed after externalize on %s", id)
+		}
+	}
+}
+
+func TestReceiveRejectsBadSignature(t *testing.T) {
+	h := newHarness(2, 11, majorityAll)
+	env := &Envelope{
+		Node: h.ids[1], Slot: 1, Seq: 1,
+		QSet:      fba.Majority(h.ids...),
+		Statement: Statement{Type: StmtNominate, Votes: []Value{Value("v")}},
+		Signature: []byte("garbage"),
+	}
+	if err := h.nodes[h.ids[0]].Receive(env); err == nil {
+		t.Fatal("bad signature accepted")
+	}
+}
+
+func TestReceiveRejectsInsaneStatement(t *testing.T) {
+	h := newHarness(2, 12, majorityAll)
+	env := &Envelope{
+		Node: h.ids[1], Slot: 1, Seq: 1,
+		QSet:      fba.Majority(h.ids...),
+		Statement: Statement{Type: StmtPrepare}, // zero ballot counter
+	}
+	h.drivers[h.ids[1]].SignEnvelope(env)
+	if err := h.nodes[h.ids[0]].Receive(env); err == nil {
+		t.Fatal("insane statement accepted")
+	}
+}
+
+func TestSetQuorumSetValidates(t *testing.T) {
+	h := newHarness(2, 13, majorityAll)
+	err := h.nodes[h.ids[0]].SetQuorumSet(fba.QuorumSet{Threshold: 5, Validators: []fba.NodeID{"x"}})
+	if err == nil {
+		t.Fatal("invalid quorum set accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package scp
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+)
+
+// TestSingleNodeConsensus checks the degenerate one-node quorum: the
+// protocol must self-drive from nomination to externalization with no
+// peer messages and no timeouts.
+func TestSingleNodeConsensus(t *testing.T) {
+	h := newHarness(1, 55, func(i int, all []fba.NodeID) fba.QuorumSet {
+		return fba.QuorumSet{Threshold: 1, Validators: all}
+	})
+	h.nominateAll(1)
+	h.net.RunUntil(50 * time.Millisecond) // well under any timeout
+	n, err := h.agreeCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("single node did not externalize without timeouts")
+	}
+}

@@ -1,0 +1,137 @@
+// Package scp implements the Stellar Consensus Protocol (paper §3): a
+// federated Byzantine agreement protocol with open membership, built from
+// three sub-protocols — nomination (§3.2.2), balloting (§3.2.1), and the
+// federated voting primitive both are built on (§3.2.3) — plus federated
+// leader selection (§3.2.5) and ballot synchronization (§3.2.4).
+//
+// The implementation follows the structure of stellar-core's SCP library
+// and the SCP Internet-Draft: per-slot state machines driven by envelopes
+// and timers, with the application supplying validation, value combination,
+// timers, and transport through the Driver interface.
+package scp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"stellar/internal/stellarcrypto"
+)
+
+// Value is an opaque candidate consensus value. SCP agrees on bytes; the
+// application (the herder, §5.3) gives them meaning.
+type Value []byte
+
+// Hash returns the content hash of the value.
+func (v Value) Hash() stellarcrypto.Hash { return stellarcrypto.HashBytes(v) }
+
+// Equal reports byte equality.
+func (v Value) Equal(w Value) bool { return bytes.Equal(v, w) }
+
+// Less orders values lexicographically, for deterministic set handling.
+func (v Value) Less(w Value) bool { return bytes.Compare(v, w) < 0 }
+
+// String shows a short hash prefix.
+func (v Value) String() string {
+	if len(v) == 0 {
+		return "∅"
+	}
+	return v.Hash().String()
+}
+
+// InfCounter is the ballot counter standing in for ∞: a node that has
+// accepted a commit pledges prepare(⟨∞, x⟩).
+const InfCounter uint32 = math.MaxUint32
+
+// Ballot is an attempt to agree on a value: a counter n and a value x
+// (paper §3.2.1). Ballots are totally ordered by (counter, value).
+type Ballot struct {
+	Counter uint32
+	Value   Value
+}
+
+// IsZero reports whether the ballot is unset.
+func (b Ballot) IsZero() bool { return b.Counter == 0 && len(b.Value) == 0 }
+
+// Compare returns -1, 0, or 1 ordering ballots by (counter, value).
+func (b Ballot) Compare(o Ballot) int {
+	switch {
+	case b.Counter < o.Counter:
+		return -1
+	case b.Counter > o.Counter:
+		return 1
+	default:
+		return bytes.Compare(b.Value, o.Value)
+	}
+}
+
+// Less reports b < o in the ballot order.
+func (b Ballot) Less(o Ballot) bool { return b.Compare(o) < 0 }
+
+// Equal reports ballot equality.
+func (b Ballot) Equal(o Ballot) bool { return b.Counter == o.Counter && b.Value.Equal(o.Value) }
+
+// Compatible reports whether two ballots carry the same value.
+func (b Ballot) Compatible(o Ballot) bool { return b.Value.Equal(o.Value) }
+
+// LessAndCompatible reports b ≤ o with equal values ("b ≲ o").
+func (b Ballot) LessAndCompatible(o Ballot) bool {
+	return b.Counter <= o.Counter && b.Compatible(o)
+}
+
+// LessAndIncompatible reports b ≤ o with different values ("o aborts b").
+func (b Ballot) LessAndIncompatible(o Ballot) bool {
+	return b.Counter <= o.Counter && !b.Compatible(o)
+}
+
+// String renders the ballot as ⟨n, hash⟩.
+func (b Ballot) String() string {
+	n := fmt.Sprint(b.Counter)
+	if b.Counter == InfCounter {
+		n = "∞"
+	}
+	return fmt.Sprintf("⟨%s,%s⟩", n, b.Value)
+}
+
+// ValueSet is an ordered, deduplicated collection of values, used by the
+// nomination protocol for its vote and accept sets.
+type ValueSet struct {
+	vals []Value
+}
+
+// Add inserts v, keeping the set sorted; it reports whether v was new.
+func (s *ValueSet) Add(v Value) bool {
+	i := s.search(v)
+	if i < len(s.vals) && s.vals[i].Equal(v) {
+		return false
+	}
+	s.vals = append(s.vals, nil)
+	copy(s.vals[i+1:], s.vals[i:])
+	s.vals[i] = v
+	return true
+}
+
+func (s *ValueSet) search(v Value) int {
+	lo, hi := 0, len(s.vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(s.vals[mid], v) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Has reports membership.
+func (s *ValueSet) Has(v Value) bool {
+	i := s.search(v)
+	return i < len(s.vals) && s.vals[i].Equal(v)
+}
+
+// Len returns the number of values.
+func (s *ValueSet) Len() int { return len(s.vals) }
+
+// Values returns the sorted contents; callers must not mutate it.
+func (s *ValueSet) Values() []Value { return s.vals }

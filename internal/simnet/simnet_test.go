@@ -1,0 +1,292 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+type recorder struct {
+	msgs  []any
+	froms []Addr
+}
+
+func (r *recorder) HandleMessage(from Addr, msg any, size int) {
+	r.msgs = append(r.msgs, msg)
+	r.froms = append(r.froms, from)
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetLatency(ConstantLatency(10 * time.Millisecond))
+	n.Send("a", "b", "hello", 5)
+
+	n.RunUntil(5 * time.Millisecond)
+	if len(r.msgs) != 0 {
+		t.Fatal("message delivered before latency elapsed")
+	}
+	n.RunUntil(10 * time.Millisecond)
+	if len(r.msgs) != 1 || r.msgs[0] != "hello" || r.froms[0] != "a" {
+		t.Fatalf("delivery wrong: %v from %v", r.msgs, r.froms)
+	}
+	if n.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v", n.Now())
+	}
+}
+
+func TestDeliveryOrderDeterministic(t *testing.T) {
+	run := func() []any {
+		n := New(42)
+		r := &recorder{}
+		n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+		n.AddNode("b", r)
+		n.SetLatency(UniformLatency(time.Millisecond, 20*time.Millisecond))
+		for i := 0; i < 50; i++ {
+			n.Send("a", "b", i, 1)
+		}
+		n.RunUntilIdle(0)
+		return r.msgs
+	}
+	a, b := run(), run()
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lost messages: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetLatency(ConstantLatency(time.Millisecond))
+	for i := 0; i < 10; i++ {
+		n.Send("a", "b", i, 0)
+	}
+	n.RunUntilIdle(0)
+	for i, m := range r.msgs {
+		if m != i {
+			t.Fatalf("FIFO violated: position %d has %v", i, m)
+		}
+	}
+}
+
+func TestTimerFiresAndCancels(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	var fired int
+	tm1 := n.After("a", 5*time.Millisecond, func() { fired++ })
+	tm2 := n.After("a", 5*time.Millisecond, func() { fired++ })
+	tm2.Cancel()
+	n.RunUntil(10 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if !tm1.Fired() || tm2.Fired() {
+		t.Fatal("Fired() flags wrong")
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetDown("b")
+	n.Send("a", "b", "x", 1)
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 0 {
+		t.Fatal("downed node received message")
+	}
+	n.SetUp("b")
+	n.Send("a", "b", "y", 1)
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 1 {
+		t.Fatal("revived node did not receive")
+	}
+}
+
+func TestDownNodeTimersSuppressed(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	var fired bool
+	n.After("a", time.Millisecond, func() { fired = true })
+	n.SetDown("a")
+	n.RunUntilIdle(0)
+	if fired {
+		t.Fatal("timer of downed node fired")
+	}
+}
+
+func TestInFlightMessageToDownedNodeDropped(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetLatency(ConstantLatency(10 * time.Millisecond))
+	n.Send("a", "b", "x", 1)
+	n.RunUntil(time.Millisecond)
+	n.SetDown("b") // crashes while message in flight
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 0 {
+		t.Fatal("in-flight message delivered to crashed node")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.Partition("a", "b")
+	n.Send("a", "b", "lost", 1)
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 0 {
+		t.Fatal("partitioned link delivered")
+	}
+	n.Heal("a", "b")
+	n.Send("a", "b", "ok", 1)
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(7)
+	var got int
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) { got++ }))
+	n.SetDropRate(0.5)
+	for i := 0; i < 1000; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if got < 400 || got > 600 {
+		t.Fatalf("with 50%% drop, delivered %d of 1000", got)
+	}
+	st := n.Stats()
+	if st.MessagesDropped+st.MessagesDelivered != st.MessagesSent {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) {}))
+	n.Send("a", "b", "x", 100)
+	n.Send("a", "b", "y", 50)
+	n.RunUntilIdle(0)
+	if n.BytesDeliveredTo("b") != 150 {
+		t.Fatalf("bytes = %d, want 150", n.BytesDeliveredTo("b"))
+	}
+	if n.Stats().BytesDelivered != 150 {
+		t.Fatalf("total bytes = %d", n.Stats().BytesDelivered)
+	}
+}
+
+func TestHandlerMaySendDuringDelivery(t *testing.T) {
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", r)
+	n.AddNode("b", HandlerFunc(func(from Addr, msg any, size int) {
+		n.Send("b", "a", "reply", 1)
+	}))
+	n.Send("a", "b", "ping", 1)
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 1 || r.msgs[0] != "reply" {
+		t.Fatalf("reply not delivered: %v", r.msgs)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	n := New(1)
+	n.RunUntil(time.Second)
+	if n.Now() != time.Second {
+		t.Fatalf("clock = %v", n.Now())
+	}
+}
+
+func TestDeferRunsInOrder(t *testing.T) {
+	n := New(1)
+	var order []int
+	n.Defer(func() { order = append(order, 1) })
+	n.Defer(func() { order = append(order, 2) })
+	n.RunUntilIdle(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("defer order = %v", order)
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.Send("a", "ghost", "x", 1)
+	n.RunUntilIdle(0)
+	if n.Stats().MessagesDropped != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	m := UniformLatency(5*time.Millisecond, 10*time.Millisecond)
+	n := New(3)
+	for i := 0; i < 100; i++ {
+		d := m("a", "b", n.Rand())
+		if d < 5*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("latency %v out of bounds", d)
+		}
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	n := New(1)
+	if n.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	if n.Pending() != 0 {
+		t.Fatal("pending nonzero")
+	}
+}
+
+func TestProcessingCostSerializesDeliveries(t *testing.T) {
+	n := New(1)
+	n.SetLatency(ConstantLatency(time.Millisecond))
+	n.SetProcessingCost(10 * time.Millisecond)
+	var times []time.Duration
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) { times = append(times, n.Now()) }))
+	// Three messages arrive simultaneously; the busy server spaces them
+	// by the processing cost.
+	for i := 0; i < 3; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if len(times) != 3 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[1]-times[0] < 10*time.Millisecond || times[2]-times[1] < 10*time.Millisecond {
+		t.Fatalf("deliveries not serialized: %v", times)
+	}
+}
+
+func TestProcessingCostZeroIsInstant(t *testing.T) {
+	n := New(1)
+	count := 0
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) { count++ }))
+	for i := 0; i < 5; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if count != 5 {
+		t.Fatalf("delivered %d", count)
+	}
+}

@@ -1,0 +1,210 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint32(0xdeadbeef)
+	e.PutUint64(1 << 60)
+	e.PutInt32(-7)
+	e.PutInt64(-1 << 40)
+	e.PutBool(true)
+	e.PutBool(false)
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xdeadbeef {
+		t.Fatalf("uint32 = %#x", v)
+	}
+	if v, _ := d.Uint64(); v != 1<<60 {
+		t.Fatalf("uint64 = %#x", v)
+	}
+	if v, _ := d.Int32(); v != -7 {
+		t.Fatalf("int32 = %d", v)
+	}
+	if v, _ := d.Int64(); v != -1<<40 {
+		t.Fatalf("int64 = %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool true lost")
+	}
+	if v, _ := d.Bool(); v {
+		t.Fatal("bool false lost")
+	}
+	if !d.Done() {
+		t.Fatalf("%d trailing bytes", d.Remaining())
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(0)
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		e.PutBytes(payload)
+		if e.Len()%4 != 0 {
+			t.Fatalf("len %d not 4-aligned for payload %d", e.Len(), n)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Bytes()
+		if err != nil {
+			t.Fatalf("decode n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload n=%d mismatch", n)
+		}
+		if !d.Done() {
+			t.Fatalf("n=%d: trailing bytes", n)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("hello, 世界")
+	d := NewDecoder(e.Bytes())
+	s, err := d.String()
+	if err != nil || s != "hello, 世界" {
+		t.Fatalf("string round trip: %q, %v", s, err)
+	}
+}
+
+func TestTruncatedErrors(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	// Declared length larger than remaining bytes.
+	e := NewEncoder(0)
+	e.PutUint32(100)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Bytes(); err == nil {
+		t.Fatal("oversize declared length accepted")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint32(1 << 30)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bytes(); err != ErrOversize {
+		t.Fatalf("want ErrOversize, got %v", err)
+	}
+}
+
+func TestBoolCanonical(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint32(2)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bool(); err == nil {
+		t.Fatal("non-canonical bool accepted")
+	}
+}
+
+func TestNonzeroPaddingRejected(t *testing.T) {
+	// Hand-build a 1-byte opaque with nonzero padding.
+	raw := []byte{0, 0, 0, 1, 0xFF, 1, 0, 0}
+	d := NewDecoder(raw)
+	if _, err := d.Bytes(); err == nil {
+		t.Fatal("nonzero padding accepted")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutFixed([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	got, err := d.Fixed(3)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("fixed round trip: %v %v", got, err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutFloat64(3.14159)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Float64(); v != 3.14159 {
+		t.Fatalf("float64 = %v", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint64(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestPropertyBytesRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		e := NewEncoder(0)
+		for _, p := range payloads {
+			e.PutBytes(p)
+		}
+		d := NewDecoder(e.Bytes())
+		for _, p := range payloads {
+			got, err := d.Bytes()
+			if err != nil || !bytes.Equal(got, p) {
+				return false
+			}
+		}
+		return d.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalEncoding(t *testing.T) {
+	// Encoding the same values twice yields identical bytes.
+	f := func(a uint64, b []byte, c bool) bool {
+		enc := func() []byte {
+			e := NewEncoder(0)
+			e.PutUint64(a)
+			e.PutBytes(b)
+			e.PutBool(c)
+			out := make([]byte, e.Len())
+			copy(out, e.Bytes())
+			return out
+		}
+		return bytes.Equal(enc(), enc())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type pair struct{ A, B uint32 }
+
+func (p pair) EncodeXDR(e *Encoder) {
+	e.PutUint32(p.A)
+	e.PutUint32(p.B)
+}
+
+func TestMarshal(t *testing.T) {
+	out := Marshal(pair{1, 2})
+	if len(out) != 8 {
+		t.Fatalf("marshal len %d", len(out))
+	}
+	d := NewDecoder(out)
+	a, _ := d.Uint32()
+	b, _ := d.Uint32()
+	if a != 1 || b != 2 {
+		t.Fatalf("marshal contents %d %d", a, b)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint32(42)
+	var buf bytes.Buffer
+	n, err := e.WriteTo(&buf)
+	if err != nil || n != 4 {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+}
