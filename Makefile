@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the full local gate: formatting, static analysis, and the race
+# detector over the whole tree.
+check: fmt vet race
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline' -count 3 .

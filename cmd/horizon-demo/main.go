@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"stellar/internal/herder"
 	"stellar/internal/horizon"
 	"stellar/internal/ledger"
+	"stellar/internal/obs"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
 )
@@ -35,7 +37,13 @@ import (
 func main() {
 	listen := flag.String("listen", ":8000", "HTTP listen address")
 	interval := flag.Duration("interval", 5*time.Second, "ledger interval")
+	verbose := flag.Bool("v", false, "structured node logging to stderr")
 	flag.Parse()
+
+	ob := &obs.Obs{}
+	if *verbose {
+		ob.Log = obs.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 
 	net := simnet.New(time.Now().UnixNano())
 	networkID := stellarcrypto.HashBytes([]byte("horizon-demo-network"))
@@ -46,6 +54,7 @@ func main() {
 		QSet:           fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
 		NetworkID:      networkID,
 		LedgerInterval: *interval,
+		Obs:            ob,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -63,7 +72,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
-	node.Bootstrap(genesis, time.Now().Unix())
+	// Bootstrap on the simulation's timebase: close-time validation
+	// compares against the virtual clock, so seeding with wall-clock unix
+	// time would leave every nominated value merely maybe-valid and a
+	// single validator could never confirm a candidate.
+	node.Bootstrap(genesis, 0)
 	node.Start()
 
 	srv := horizon.New(node, net, networkID)
@@ -83,6 +96,9 @@ func main() {
 	fmt.Printf("demo master account: %s (source_seed \"demo-master\", balance 1,000,000 XLM)\n", demo)
 	fmt.Printf("horizon listening on %s\n", *listen)
 	fmt.Printf("try: curl localhost%s/ledgers/latest\n", *listen)
+	fmt.Printf("     curl localhost%s/metrics           (Prometheus text)\n", *listen)
+	fmt.Printf("     curl localhost%s/metrics.json      (JSON summary)\n", *listen)
+	fmt.Printf("     curl localhost%s/debug/slots/3/trace  (SCP slot timeline)\n", *listen)
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)

@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"stellar/internal/experiments"
+	"stellar/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	dropRate := flag.Float64("drop", 0, "message drop probability [0,1)")
 	seed := flag.Int64("seed", 42, "deterministic simulation seed")
 	archive := flag.String("archive", "", "directory for a history archive (optional)")
+	verbose := flag.Bool("v", false, "structured per-node logging to stderr")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -36,6 +39,12 @@ func main() {
 		DropRate:       *dropRate,
 		Seed:           *seed,
 		ArchiveDir:     *archive,
+	}
+	if *verbose {
+		root := obs.NewLogger(os.Stderr, slog.LevelDebug)
+		opts.Obs = func(i int) *obs.Obs {
+			return &obs.Obs{Log: root.With(slog.Int("node", i))}
+		}
 	}
 	fmt.Printf("building network: %d validators, %d accounts, %.0f tx/s, %v ledgers\n",
 		*validators, *accounts, *rate, *interval)

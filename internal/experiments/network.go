@@ -15,6 +15,7 @@ import (
 	"stellar/internal/ledger"
 	"stellar/internal/loadgen"
 	"stellar/internal/metrics"
+	"stellar/internal/obs"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	// makes consensus latency grow with validator count (Fig 11): more
 	// validators mean more envelopes queuing at each receiver.
 	ProcessingCost time.Duration
+	// Obs, when set, supplies the observability bundle (metric registry,
+	// trace ring, logger) for validator i. nil entries (or a nil func)
+	// leave the node on its silent defaults.
+	Obs func(i int) *obs.Obs
 }
 
 func (o *Options) defaults() {
@@ -182,6 +187,9 @@ func Build(opts Options) (*SimNetwork, error) {
 			OverlayCacheSize:  opts.OverlayCacheSize,
 			MaxTxSetSize:      opts.MaxTxSetSize,
 			Multicast:         opts.Multicast,
+		}
+		if opts.Obs != nil {
+			cfg.Obs = opts.Obs(i)
 		}
 		if arch != nil && i == 0 {
 			cfg.Archive = arch // one archiving validator, as in production

@@ -3,18 +3,21 @@ package herder
 import (
 	"time"
 
+	"stellar/internal/obs"
 	"stellar/internal/scp"
 	"stellar/internal/stellarcrypto"
 )
 
-// driver adapts a herder Node to the scp.Driver and scp.MetricsDriver
-// interfaces. It is the same object as the Node (a type conversion), so
-// SCP callbacks run synchronously in the node's event context.
+// driver adapts a herder Node to the scp.Driver, scp.MetricsDriver, and
+// scp.TraceDriver interfaces. It is the same object as the Node (a type
+// conversion), so SCP callbacks run synchronously in the node's event
+// context.
 type driver Node
 
 var (
 	_ scp.Driver        = (*driver)(nil)
 	_ scp.MetricsDriver = (*driver)(nil)
+	_ scp.TraceDriver   = (*driver)(nil)
 )
 
 func (d *driver) node() *Node { return (*Node)(d) }
@@ -99,6 +102,9 @@ func (d *driver) CombineCandidates(slot uint64, candidates []scp.Value) scp.Valu
 func (d *driver) EmitEnvelope(env *scp.Envelope) {
 	n := d.node()
 	n.stat(env.Slot).emitted++
+	n.ins.envEmitted.With(stmtLabel(env.Statement.Type)).Inc()
+	n.trace(obs.Event{Slot: env.Slot, Kind: obs.EvEnvelopeEmit,
+		Detail: stmtLabel(env.Statement.Type)})
 	n.ov.BroadcastEnvelope(env)
 }
 
@@ -160,20 +166,52 @@ func (d *driver) StartedBallot(slot uint64, b scp.Ballot) {
 		st.sawPrepare = true
 		st.firstPrepareAt = n.net.Now()
 	}
+	n.ins.ballots.Inc()
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvBallotPrepare, Counter: b.Counter})
 }
 
-// AcceptedCommit is unused today but part of the metrics surface.
-func (d *driver) AcceptedCommit(slot uint64, b scp.Ballot) {}
+// AcceptedCommit marks the point after which the slot's value is fixed.
+func (d *driver) AcceptedCommit(slot uint64, b scp.Ballot) {
+	n := d.node()
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvAcceptCommit, Counter: b.Counter})
+	n.log.Debug("accepted commit", "slot", slot, "counter", b.Counter)
+}
 
 // Timeout counts nomination and ballot timer expiries (Fig 8).
 func (d *driver) Timeout(slot uint64, kind scp.TimerKind) {
-	st := d.node().stat(slot)
+	n := d.node()
+	st := n.stat(slot)
 	if kind == scp.TimerNomination {
 		st.nomTimeouts++
 	} else {
 		st.ballotTimeouts++
 	}
+	n.ins.timeouts.With(timerLabel(kind)).Inc()
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvTimeout, Detail: timerLabel(kind)})
 }
 
-// NominationConfirmed is informational.
-func (d *driver) NominationConfirmed(slot uint64) {}
+// NominationConfirmed marks the first confirmed candidate.
+func (d *driver) NominationConfirmed(slot uint64) {
+	d.node().trace(obs.Event{Slot: slot, Kind: obs.EvCandidateConfirmed})
+}
+
+// NominationRoundStarted counts round escalations (round 1 is recorded as
+// EvNominationStart by the ledger trigger; later rounds mark leader-set
+// expansion).
+func (d *driver) NominationRoundStarted(slot uint64, round int) {
+	n := d.node()
+	n.ins.nomRounds.Inc()
+	if round > 1 {
+		n.trace(obs.Event{Slot: slot, Kind: obs.EvNominationRound, Counter: uint32(round)})
+	}
+}
+
+// AcceptedPrepared traces the federated-voting accept step.
+func (d *driver) AcceptedPrepared(slot uint64, b scp.Ballot) {
+	d.node().trace(obs.Event{Slot: slot, Kind: obs.EvAcceptPrepare, Counter: b.Counter})
+}
+
+// ConfirmedPrepared traces the start of commit voting.
+func (d *driver) ConfirmedPrepared(slot uint64, b scp.Ballot) {
+	d.node().trace(obs.Event{Slot: slot, Kind: obs.EvConfirmPrepare, Counter: b.Counter})
+}

@@ -2,6 +2,7 @@ package herder
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"stellar/internal/bucket"
@@ -9,6 +10,7 @@ import (
 	"stellar/internal/history"
 	"stellar/internal/ledger"
 	"stellar/internal/metrics"
+	"stellar/internal/obs"
 	"stellar/internal/overlay"
 	"stellar/internal/scp"
 	"stellar/internal/simnet"
@@ -45,6 +47,10 @@ type Config struct {
 	// Multicast selects the §7.5 structured-multicast extension instead
 	// of flooding; requires SetMembers on the overlay after wiring.
 	Multicast bool
+	// Obs supplies the node's observability bundle (metric registry,
+	// protocol trace recorder, logger). nil, or a bundle with nil fields,
+	// selects defaults: a private registry and trace ring, silent logs.
+	Obs *obs.Obs
 }
 
 // Node is one Stellar validator: SCP consensus plus the replicated ledger
@@ -82,8 +88,13 @@ type Node struct {
 	nextSlot  uint64
 	triggered map[uint64]bool
 
-	// Per-slot instrumentation.
+	// Per-slot instrumentation. Metrics is the post-hoc raw-sample store
+	// the experiment tables read; obs/ins are the live registry and trace
+	// recorder behind horizon's /metrics and /debug endpoints.
 	Metrics      *metrics.NodeMetrics
+	obs          *obs.Obs
+	ins          *instruments
+	log          *slog.Logger
 	slotStats    map[uint64]*slotStat
 	upgradeStats map[UpgradeKind]int64
 
@@ -115,8 +126,12 @@ func New(net *simnet.Network, cfg Config) (*Node, error) {
 		cfg.MaxTxSetSize = ledger.DefaultMaxTxSetSize
 	}
 	id := fba.NodeIDFromPublicKey(cfg.Keys.Public)
+	ob := cfg.Obs.Normalize()
 	n := &Node{
 		cfg:          cfg,
+		obs:          ob,
+		ins:          newInstruments(ob.Reg),
+		log:          obs.Component(ob.Log, "herder"),
 		id:           id,
 		addr:         simnet.Addr(id),
 		net:          net,
@@ -133,6 +148,7 @@ func New(net *simnet.Network, cfg Config) (*Node, error) {
 		upgradeStats: make(map[UpgradeKind]int64),
 	}
 	n.ov = overlay.New(net, n.addr, cfg.NetworkID, cfg.OverlayCacheSize)
+	n.ov.SetObs(ob.Reg, obs.Component(ob.Log, "overlay"))
 	if cfg.Multicast {
 		n.ov.SetMode(overlay.ModeTree)
 	}
@@ -177,6 +193,7 @@ func (n *Node) SCP() *scp.Node { return n.scp }
 // validators of a network must bootstrap from identical genesis state.
 func (n *Node) Bootstrap(genesis *ledger.State, closeTime int64) {
 	n.state = genesis
+	n.state.SetObs(n.obs.Reg)
 	n.buckets = bucket.NewList()
 	n.buckets.AddBatch(1, genesis.SnapshotAll())
 	genesis.TakeDirtySnapshot() // genesis entries are already in the list
@@ -218,6 +235,7 @@ func (n *Node) SubmitTx(tx *ledger.Transaction) error {
 		return fmt.Errorf("herder: transaction fails basic checks")
 	}
 	n.pending[h] = tx
+	n.ins.pendingTxs.Set(float64(len(n.pending)))
 	n.ov.BroadcastTx(tx)
 	return nil
 }
@@ -235,6 +253,7 @@ func (n *Node) onTx(tx *ledger.Transaction) {
 	h := tx.Hash(n.cfg.NetworkID)
 	if _, dup := n.pending[h]; !dup {
 		n.pending[h] = tx
+		n.ins.pendingTxs.Set(float64(len(n.pending)))
 	}
 }
 
@@ -259,10 +278,13 @@ func (n *Node) onEnvelope(env *scp.Envelope) {
 	if n.state == nil {
 		return
 	}
+	n.ins.envReceived.With(stmtLabel(env.Statement.Type)).Inc()
 	// Ignore slots already closed; stale envelopes cannot help.
 	if env.Slot <= uint64(n.last.LedgerSeq) {
 		return
 	}
+	n.trace(obs.Event{Slot: env.Slot, Kind: obs.EvEnvelopeRecv,
+		Peer: string(env.Node), Detail: stmtLabel(env.Statement.Type)})
 	_ = n.scp.Receive(env)
 }
 
@@ -301,6 +323,9 @@ func (n *Node) triggerNextLedger() {
 	}
 	stat := n.stat(slot)
 	stat.nominateAt = n.net.Now()
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvNominationStart,
+		Detail: fmt.Sprintf("txs=%d", len(candidates))})
+	n.log.Debug("trigger ledger", "slot", slot, "txs", len(candidates), "close_time", closeTime)
 	n.scp.Nominate(slot, sv.Encode())
 	// Schedule the next cadence tick regardless; if consensus is slow the
 	// tick re-checks.
@@ -333,6 +358,9 @@ func (n *Node) onExternalized(slot uint64, raw scp.Value) {
 		panic(fmt.Sprintf("herder: externalized garbage for slot %d: %v", slot, err))
 	}
 	n.decided[slot] = sv
+	n.ins.externals.Inc()
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvExternalize})
+	n.log.Debug("externalized", "slot", slot, "close_time", sv.CloseTime)
 	// Defer application so it runs outside SCP's call stack.
 	n.net.Defer(n.tryApplyDecided)
 }
@@ -392,23 +420,36 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 	hdr.FeePool = n.state.FeePool
 
 	// Metrics: close interval, ledger update time, tx count, per-slot
-	// consensus latencies (§7.3's three measured phases).
-	n.Metrics.LedgerUpdate.Add(time.Since(applyStart))
+	// consensus latencies (§7.3's three measured phases). Each sample is
+	// written twice: into the raw-sample NodeMetrics the experiment
+	// tables consume, and into the registry horizon exposes.
+	applyDur := time.Since(applyStart)
+	n.Metrics.LedgerUpdate.Add(applyDur)
 	n.Metrics.TxPerLedger.Add(len(ts.Txs))
+	n.ins.txPerLedger.Observe(float64(len(ts.Txs)))
+	n.ins.ledgersClosed.Inc()
 	prevClose := n.last.CloseTime
-	n.Metrics.CloseInterval.Add(time.Duration(hdr.CloseTime-prevClose) * time.Second)
+	closeInterval := time.Duration(hdr.CloseTime-prevClose) * time.Second
+	n.Metrics.CloseInterval.Add(closeInterval)
+	n.ins.closeInterval.ObserveDuration(closeInterval)
 	if st, ok := n.slotStats[slot]; ok {
 		if st.sawPrepare {
 			if st.nominateAt > 0 {
 				n.Metrics.Nomination.Add(st.firstPrepareAt - st.nominateAt)
+				n.ins.nomination.ObserveDuration(st.firstPrepareAt - st.nominateAt)
 			}
 			n.Metrics.Balloting.Add(n.net.Now() - st.firstPrepareAt)
+			n.ins.balloting.ObserveDuration(n.net.Now() - st.firstPrepareAt)
 		}
 		n.Metrics.NominationTimeouts.Add(st.nomTimeouts)
 		n.Metrics.BallotTimeouts.Add(st.ballotTimeouts)
 		n.Metrics.MessagesEmitted.Add(st.emitted)
 		delete(n.slotStats, slot)
 	}
+	n.trace(obs.Event{Slot: slot, Kind: obs.EvLedgerApplied,
+		Detail: fmt.Sprintf("txs=%d apply=%s", len(ts.Txs), applyDur)})
+	n.log.Info("ledger closed", "seq", hdr.LedgerSeq, "txs", len(ts.Txs),
+		"apply", applyDur, "close_time", hdr.CloseTime)
 
 	n.last = hdr
 	n.headers[hdr.LedgerSeq] = hdr.Hash()
@@ -427,6 +468,7 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 			delete(n.pending, h)
 		}
 	}
+	n.ins.pendingTxs.Set(float64(len(n.pending)))
 
 	// Prune tx sets by age: drop sets not seen within the last few
 	// ledgers, always keeping any referenced by a buffered decision.
@@ -532,6 +574,7 @@ func (n *Node) CatchUp(a *history.Archive) error {
 		return err
 	}
 	n.state = state
+	n.state.SetObs(n.obs.Reg)
 	n.buckets = buckets
 	n.last = hdr
 	n.headers[hdr.LedgerSeq] = hdr.Hash()

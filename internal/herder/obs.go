@@ -1,0 +1,80 @@
+package herder
+
+import (
+	"strings"
+
+	"stellar/internal/obs"
+	"stellar/internal/scp"
+)
+
+// instruments are the herder's registry series, resolved once at node
+// construction so hot-path recording is a mutex-guarded add with no map
+// lookups. Metric names are the contract the EXPERIMENTS.md figures and
+// DESIGN.md observability section refer to.
+type instruments struct {
+	// SCP protocol volume (§7.2).
+	envEmitted  *obs.CounterVec // scp_envelopes_emitted_total{type}
+	envReceived *obs.CounterVec // scp_envelopes_received_total{type}
+	timeouts    *obs.CounterVec // scp_timeouts_total{kind}
+	ballots     *obs.Counter    // scp_ballots_started_total
+	nomRounds   *obs.Counter    // scp_nomination_rounds_total
+	externals   *obs.Counter    // scp_slots_externalized_total
+
+	// Consensus phase latencies (§7.3, Figs 9–11).
+	nomination    *obs.Histogram // herder_nomination_seconds
+	balloting     *obs.Histogram // herder_balloting_seconds
+	closeInterval *obs.Histogram // herder_close_interval_seconds
+	txPerLedger   *obs.Histogram // herder_tx_per_ledger
+	ledgersClosed *obs.Counter   // herder_ledgers_closed_total
+	pendingTxs    *obs.Gauge     // herder_pending_txs
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	return &instruments{
+		envEmitted: reg.CounterVec("scp_envelopes_emitted_total",
+			"SCP envelopes this node broadcast, by statement type", "type"),
+		envReceived: reg.CounterVec("scp_envelopes_received_total",
+			"SCP envelopes received from peers, by statement type", "type"),
+		timeouts: reg.CounterVec("scp_timeouts_total",
+			"nomination and ballot timer expiries", "kind"),
+		ballots: reg.Counter("scp_ballots_started_total",
+			"ballots this node moved to (prepare votes)"),
+		nomRounds: reg.Counter("scp_nomination_rounds_total",
+			"nomination rounds started, including timeout escalations"),
+		externals: reg.Counter("scp_slots_externalized_total",
+			"slots this node decided"),
+		nomination: reg.Histogram("herder_nomination_seconds",
+			"nomination start to first prepare (paper §7.3)", nil),
+		balloting: reg.Histogram("herder_balloting_seconds",
+			"first prepare to externalize (paper §7.3)", nil),
+		closeInterval: reg.Histogram("herder_close_interval_seconds",
+			"time between consecutive ledger closes (close rate, §7.3)", nil),
+		txPerLedger: reg.Histogram("herder_tx_per_ledger",
+			"transactions confirmed per ledger", obs.CountBuckets),
+		ledgersClosed: reg.Counter("herder_ledgers_closed_total",
+			"ledgers this node applied"),
+		pendingTxs: reg.Gauge("herder_pending_txs",
+			"transactions waiting in the pending pool"),
+	}
+}
+
+// stmtLabel maps a statement type to its metric label value.
+func stmtLabel(t scp.StatementType) string { return strings.ToLower(t.String()) }
+
+// timerLabel maps a timer kind to its metric label value.
+func timerLabel(k scp.TimerKind) string {
+	if k == scp.TimerNomination {
+		return "nomination"
+	}
+	return "ballot"
+}
+
+// Obs returns the node's observability bundle (registry, trace recorder,
+// logger). It is always non-nil.
+func (n *Node) Obs() *obs.Obs { return n.obs }
+
+// trace records a protocol event stamped with the node's virtual clock.
+func (n *Node) trace(ev obs.Event) {
+	ev.At = n.net.Now()
+	n.obs.Trace.Record(ev)
+}

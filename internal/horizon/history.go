@@ -20,9 +20,9 @@ func (s *Server) WithArchive(a *history.Archive) *Server {
 }
 
 func (s *Server) registerHistory(mux *http.ServeMux) {
-	mux.HandleFunc("GET /ledgers/{seq}", s.handleLedgerBySeq)
-	mux.HandleFunc("GET /ledgers/{seq}/transactions", s.handleLedgerTxs)
-	mux.HandleFunc("GET /transactions/{hash}", s.handleTxByHash)
+	s.handle(mux, "GET /ledgers/{seq}", s.handleLedgerBySeq)
+	s.handle(mux, "GET /ledgers/{seq}/transactions", s.handleLedgerTxs)
+	s.handle(mux, "GET /transactions/{hash}", s.handleTxByHash)
 }
 
 func (s *Server) handleLedgerBySeq(w http.ResponseWriter, r *http.Request) {

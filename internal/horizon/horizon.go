@@ -18,6 +18,7 @@ import (
 	"stellar/internal/herder"
 	"stellar/internal/history"
 	"stellar/internal/ledger"
+	"stellar/internal/obs"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
 )
@@ -33,22 +34,30 @@ type Server struct {
 
 	NetworkID stellarcrypto.Hash
 	archive   *history.Archive
+
+	httpReqs *obs.CounterVec   // horizon_http_requests_total{route,code}
+	httpLat  *obs.HistogramVec // horizon_http_request_seconds{route}
 }
 
 // New builds a Server for the node.
 func New(node *herder.Node, net *simnet.Network, networkID stellarcrypto.Hash) *Server {
-	return &Server{Node: node, Net: net, NetworkID: networkID}
+	s := &Server{Node: node, Net: net, NetworkID: networkID}
+	s.httpReqs, s.httpLat = newHTTPInstruments(node.Obs().Reg)
+	return s
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table. Every route passes through the
+// instrumentation middleware (see obs.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /ledgers/latest", s.handleLatestLedger)
-	mux.HandleFunc("GET /accounts/{id}", s.handleAccount)
-	mux.HandleFunc("GET /order_book", s.handleOrderBook)
-	mux.HandleFunc("GET /paths", s.handlePaths)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /transactions", s.handleSubmit)
+	s.handle(mux, "GET /ledgers/latest", s.handleLatestLedger)
+	s.handle(mux, "GET /accounts/{id}", s.handleAccount)
+	s.handle(mux, "GET /order_book", s.handleOrderBook)
+	s.handle(mux, "GET /paths", s.handlePaths)
+	s.handle(mux, "GET /metrics", s.handlePromMetrics)
+	s.handle(mux, "GET /metrics.json", s.handleMetricsJSON)
+	s.handle(mux, "GET /debug/slots/{seq}/trace", s.handleSlotTrace)
+	s.handle(mux, "POST /transactions", s.handleSubmit)
 	s.registerHistory(mux)
 	return mux
 }
@@ -207,7 +216,9 @@ func (s *Server) handleOrderBook(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON keeps the original JSON metrics summary, now under
+// /metrics.json (the Prometheus exposition took over /metrics).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.Mu.Lock()
 	defer s.Mu.Unlock()
 	m := s.Node.Metrics

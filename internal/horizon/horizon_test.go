@@ -263,7 +263,7 @@ func TestOrderBookAndPathsEndpoints(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	f := newFixture(t)
 	var m map[string]any
-	if code := f.get("/metrics", &m); code != 200 {
+	if code := f.get("/metrics.json", &m); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if _, ok := m["ledgers_closed"]; !ok {

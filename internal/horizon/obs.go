@@ -1,0 +1,141 @@
+package horizon
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"stellar/internal/obs"
+)
+
+// Observability endpoints and middleware: every route is wrapped with
+// per-route request/latency instruments; GET /metrics exposes the node's
+// registry in Prometheus text format, GET /metrics.json keeps the legacy
+// JSON summary, and GET /debug/slots/{seq}/trace reconstructs a slot's
+// consensus timeline from the protocol trace recorder (Fig 2 / §7.3).
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers a route wrapped with request count and latency
+// recording; the route label is the mux pattern, so label cardinality is
+// bounded by the routing table.
+func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.httpReqs.With(pattern, strconv.Itoa(sw.status)).Inc()
+		s.httpLat.With(pattern).ObserveDuration(time.Since(start))
+	})
+}
+
+// handlePromMetrics serves the registry in Prometheus text exposition
+// format. The registry is internally synchronized, so this does not take
+// the simulation lock and never blocks consensus.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Node.Obs().Reg.WritePrometheus(w)
+}
+
+// TraceEventInfo is the public view of one protocol trace event.
+type TraceEventInfo struct {
+	At      string `json:"at"` // virtual time offset, e.g. "12.004s"
+	Kind    string `json:"kind"`
+	Counter uint32 `json:"counter,omitempty"` // ballot counter / nomination round
+	Peer    string `json:"peer,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// SlotTraceInfo is the reconstructed timeline of one slot.
+type SlotTraceInfo struct {
+	Slot         uint64 `json:"slot"`
+	Externalized bool   `json:"externalized"`
+	Applied      bool   `json:"applied"`
+
+	NominationStart string `json:"nomination_start,omitempty"`
+	FirstPrepare    string `json:"first_prepare,omitempty"`
+	AcceptCommit    string `json:"accept_commit,omitempty"`
+	Externalize     string `json:"externalize,omitempty"`
+	LedgerApplied   string `json:"ledger_applied,omitempty"`
+
+	Nomination string `json:"nomination,omitempty"` // start → first prepare
+	Balloting  string `json:"balloting,omitempty"`  // first prepare → externalize
+	Total      string `json:"total,omitempty"`      // start → externalize
+
+	Timeouts          int `json:"timeouts"`
+	NominationRounds  int `json:"nomination_rounds"`
+	EnvelopesEmitted  int `json:"envelopes_emitted"`
+	EnvelopesReceived int `json:"envelopes_received"`
+
+	Events []TraceEventInfo `json:"events"`
+}
+
+func fmtAt(d time.Duration, ok bool) string {
+	if !ok {
+		return ""
+	}
+	return d.String()
+}
+
+func (s *Server) handleSlotTrace(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad slot %q", r.PathValue("seq"))
+		return
+	}
+	tl := s.Node.Obs().Trace.SlotTimeline(seq)
+	if len(tl.Events) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no trace for slot %d (not seen, or evicted from the ring)", seq)
+		return
+	}
+	info := SlotTraceInfo{
+		Slot:            tl.Slot,
+		Externalized:    tl.HasDecision,
+		Applied:         tl.HasApplied,
+		NominationStart: fmtAt(tl.NominationAt, tl.HasNomination),
+		FirstPrepare:    fmtAt(tl.FirstPrepareAt, tl.HasPrepare),
+		AcceptCommit:    fmtAt(tl.AcceptCommitAt, tl.HasCommit),
+		Externalize:     fmtAt(tl.ExternalizedAt, tl.HasDecision),
+		LedgerApplied:   fmtAt(tl.AppliedAt, tl.HasApplied),
+		// Durations may legitimately be zero in virtual time (a
+		// self-quorum node externalizes without network delay), so gate
+		// on boundary presence, not on the value.
+		Nomination:        fmtAt(tl.Nomination, tl.HasNomination && tl.HasPrepare),
+		Balloting:         fmtAt(tl.Balloting, tl.HasPrepare && tl.HasDecision),
+		Total:             fmtAt(tl.Total, tl.HasNomination && tl.HasDecision),
+		Timeouts:          tl.Timeouts,
+		NominationRounds:  tl.NominationRounds,
+		EnvelopesEmitted:  tl.EnvelopesEmitted,
+		EnvelopesReceived: tl.EnvelopesRecv,
+		Events:            make([]TraceEventInfo, 0, len(tl.Events)),
+	}
+	for _, ev := range tl.Events {
+		info.Events = append(info.Events, TraceEventInfo{
+			At:      ev.At.String(),
+			Kind:    ev.Kind.String(),
+			Counter: ev.Counter,
+			Peer:    ev.Peer,
+			Detail:  ev.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// newHTTPInstruments resolves the middleware's registry series.
+func newHTTPInstruments(reg *obs.Registry) (*obs.CounterVec, *obs.HistogramVec) {
+	reqs := reg.CounterVec("horizon_http_requests_total",
+		"horizon API requests, by route and status code", "route", "code")
+	lat := reg.HistogramVec("horizon_http_request_seconds",
+		"horizon API request latency, by route", nil, "route")
+	return reqs, lat
+}

@@ -1,0 +1,298 @@
+package horizon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	name    string
+	kind    string // counter | gauge | histogram
+	help    string
+	samples map[string]float64 // "name{labels}" → value
+}
+
+// parsePrometheus is a hand-rolled exposition-format parser strict enough
+// to catch malformed output: every sample line must belong to a family
+// declared by a preceding # TYPE line, and values must parse as floats.
+func parsePrometheus(t *testing.T, r io.Reader) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	var cur *promFamily
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			fams[name] = &promFamily{name: name, help: help, samples: map[string]float64{}}
+			cur = fams[name]
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			if cur == nil || cur.name != name {
+				t.Fatalf("TYPE line for %q without preceding HELP", name)
+			}
+			cur.kind = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample: name[{labels}] value
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:idx], line[idx+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil && valStr != "+Inf" {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		famName := base
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(base, suf); ok && fams[trimmed] != nil {
+				famName = trimmed
+				break
+			}
+		}
+		fam := fams[famName]
+		if fam == nil {
+			t.Fatalf("sample %q belongs to no declared family", line)
+		}
+		v, _ := strconv.ParseFloat(valStr, 64)
+		fam.samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func TestPrometheusMetricsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	// Hit a couple of routes first so the horizon middleware has data.
+	f.get("/ledgers/latest", nil)
+	f.get("/accounts/GBOGUS", nil)
+
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	fams := parsePrometheus(t, resp.Body)
+	if len(fams) < 10 {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("only %d metric families: %v", len(fams), names)
+	}
+
+	// The exposition must span every instrumented subsystem. Labeled
+	// families in the list only materialize samples once an event with
+	// that label occurs, so the single-validator fixture checks samples
+	// for the unlabeled overlay series instead of the per-kind vec.
+	for _, want := range []string{
+		"scp_slots_externalized_total",
+		"scp_envelopes_emitted_total",
+		"herder_ledgers_closed_total",
+		"herder_close_interval_seconds",
+		"overlay_peers",
+		"ledger_apply_seconds",
+		"horizon_http_requests_total",
+		"horizon_http_request_seconds",
+	} {
+		if fams[want] == nil {
+			t.Fatalf("missing family %q", want)
+		}
+		if len(fams[want].samples) == 0 {
+			t.Fatalf("family %q has no samples", want)
+		}
+	}
+	for _, want := range []string{
+		"overlay_packets_sent_total", "overlay_dupes_suppressed_total",
+		"scp_timeouts_total", "herder_tx_per_ledger",
+	} {
+		if fams[want] == nil {
+			t.Fatalf("missing family %q", want)
+		}
+	}
+
+	// The fixture closed ledgers, so the externalize counter must be >0.
+	if v := fams["scp_slots_externalized_total"].samples["scp_slots_externalized_total"]; v < 1 {
+		t.Fatalf("scp_slots_externalized_total = %v", v)
+	}
+
+	// The middleware recorded this test's earlier requests.
+	found := false
+	for key, v := range fams["horizon_http_requests_total"].samples {
+		if strings.Contains(key, "/ledgers/latest") && strings.Contains(key, `code="200"`) && v >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no request sample for /ledgers/latest: %v",
+			fams["horizon_http_requests_total"].samples)
+	}
+
+	// Histogram buckets must be cumulative and end at +Inf == _count.
+	hist := fams["herder_close_interval_seconds"]
+	if hist.kind != "histogram" {
+		t.Fatalf("herder_close_interval_seconds kind = %q", hist.kind)
+	}
+	var infV, countV float64
+	prev := -1.0
+	var bucketKeys []string
+	for key := range hist.samples {
+		if strings.HasPrefix(key, "herder_close_interval_seconds_bucket") {
+			bucketKeys = append(bucketKeys, key)
+		}
+	}
+	sort.Slice(bucketKeys, func(i, j int) bool {
+		return bucketLe(bucketKeys[i]) < bucketLe(bucketKeys[j])
+	})
+	for _, key := range bucketKeys {
+		v := hist.samples[key]
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q = %v after %v", key, v, prev)
+		}
+		prev = v
+		if strings.Contains(key, `le="+Inf"`) {
+			infV = v
+		}
+	}
+	countV = hist.samples["herder_close_interval_seconds_count"]
+	if infV != countV {
+		t.Fatalf("+Inf bucket %v != count %v", infV, countV)
+	}
+	if countV < 1 {
+		t.Fatal("close interval histogram empty")
+	}
+}
+
+func bucketLe(key string) float64 {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return 0
+	}
+	s := key[i+4:]
+	s = s[:strings.IndexByte(s, '"')]
+	if s == "+Inf" {
+		return 1e308
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func TestMetricsJSONShape(t *testing.T) {
+	f := newFixture(t)
+	var m map[string]any
+	if code := f.get("/metrics.json", &m); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, key := range []string{
+		"ledgers_closed", "close_interval_mean", "nomination_mean",
+		"balloting_mean", "ledger_update_mean", "tx_per_ledger_mean",
+		"pending_transactions",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics.json missing %q: %v", key, m)
+		}
+	}
+}
+
+func TestSlotTraceEndpoint(t *testing.T) {
+	f := newFixture(t)
+	hdr := f.node.LastHeader()
+	if hdr == nil || hdr.LedgerSeq < 2 {
+		t.Fatal("fixture closed no ledgers")
+	}
+	slot := uint64(hdr.LedgerSeq)
+
+	var tl SlotTraceInfo
+	if code := f.get(fmt.Sprintf("/debug/slots/%d/trace", slot), &tl); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if tl.Slot != slot {
+		t.Fatalf("slot = %d, want %d", tl.Slot, slot)
+	}
+	if !tl.Externalized || !tl.Applied {
+		t.Fatalf("externalized=%v applied=%v", tl.Externalized, tl.Applied)
+	}
+	if tl.NominationStart == "" || tl.Externalize == "" || tl.Total == "" {
+		t.Fatalf("missing boundaries: %+v", tl)
+	}
+
+	// The timeline must be well-ordered: nomination start ≤ first prepare ≤
+	// externalize ≤ ledger apply, and events sorted by timestamp with
+	// nomination_start first and externalize before ledger_applied.
+	parse := func(s string) time.Duration {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad duration %q: %v", s, err)
+		}
+		return d
+	}
+	nom, ext := parse(tl.NominationStart), parse(tl.Externalize)
+	if tl.FirstPrepare != "" {
+		fp := parse(tl.FirstPrepare)
+		if fp < nom || ext < fp {
+			t.Fatalf("order violated: nom=%v prepare=%v ext=%v", nom, fp, ext)
+		}
+	}
+	if tl.LedgerApplied != "" && parse(tl.LedgerApplied) < ext {
+		t.Fatalf("applied before externalize: %+v", tl)
+	}
+
+	if len(tl.Events) < 3 {
+		t.Fatalf("only %d events", len(tl.Events))
+	}
+	var prevAt time.Duration
+	kinds := make(map[string]int)
+	for i, ev := range tl.Events {
+		at := parse(ev.At)
+		if at < prevAt {
+			t.Fatalf("event %d out of order: %v < %v", i, at, prevAt)
+		}
+		prevAt = at
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"nomination_start", "externalize", "envelope_emit"} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %s event in %v", want, kinds)
+		}
+	}
+	if tl.Events[0].Kind != "nomination_start" {
+		t.Fatalf("first event = %q", tl.Events[0].Kind)
+	}
+
+	// Unknown and malformed slots.
+	if code := f.get("/debug/slots/999999/trace", nil); code != 404 {
+		t.Fatalf("unknown slot status %d", code)
+	}
+	if code := f.get("/debug/slots/bogus/trace", nil); code != 400 {
+		t.Fatalf("malformed slot status %d", code)
+	}
+}

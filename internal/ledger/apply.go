@@ -3,6 +3,7 @@ package ledger
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"stellar/internal/stellarcrypto"
 	"stellar/internal/xdr"
@@ -180,11 +181,13 @@ func (ts *TxSet) SortForApply(networkID stellarcrypto.Hash) []*Transaction {
 // ApplyTxSet executes a whole transaction set, returning per-transaction
 // results and the results hash for the header.
 func (st *State) ApplyTxSet(ts *TxSet, networkID stellarcrypto.Hash, env *ApplyEnv) ([]TxResult, stellarcrypto.Hash) {
+	start := time.Now()
 	txs := ts.SortForApply(networkID)
 	results := make([]TxResult, 0, len(txs))
 	for _, tx := range txs {
 		results = append(results, st.ApplyTransaction(tx, networkID, env))
 	}
+	st.observeApply(start, results)
 	e := xdr.NewEncoder(64 * len(results))
 	for i := range results {
 		results[i].EncodeXDR(e)

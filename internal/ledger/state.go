@@ -34,6 +34,9 @@ type State struct {
 
 	journal []undo
 	dirty   map[string]struct{}
+
+	// ins holds the optional apply-path metrics (SetObs).
+	ins *ledgerInstruments
 }
 
 type bookKey struct{ selling, buying string }

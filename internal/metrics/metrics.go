@@ -1,12 +1,22 @@
 // Package metrics provides the measurement machinery behind the paper's
 // evaluation (§7): latency distributions with percentiles (Fig 8–11),
 // counters for messages and timeouts, and simple rate tracking.
+//
+// Ownership rule: histograms are internally synchronized. The herder
+// appends samples from the simulation goroutine while horizon handlers
+// and experiment summaries read them from HTTP goroutines; every method
+// takes the histogram's own lock, and Samples returns a copy, so readers
+// can never observe a mid-sort or mid-append state. For live labeled
+// metrics and Prometheus exposition use internal/obs; this package
+// remains the post-hoc raw-sample store the experiment tables are built
+// from.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -14,23 +24,36 @@ import (
 // It stores raw samples; experiment runs are small enough that this is
 // simpler and more accurate than bucketing.
 type Histogram struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
 }
 
 // Add records one sample.
 func (h *Histogram) Add(d time.Duration) {
+	h.mu.Lock()
 	h.samples = append(h.samples, d)
 	h.sorted = false
+	h.mu.Unlock()
 }
 
 // N returns the number of samples.
-func (h *Histogram) N() int { return len(h.samples) }
+func (h *Histogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
-// Samples returns the raw samples; callers must not mutate them.
-func (h *Histogram) Samples() []time.Duration { return h.samples }
+// Samples returns a copy of the samples, in insertion order unless a
+// percentile query has sorted them.
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]time.Duration(nil), h.samples...)
+}
 
-func (h *Histogram) sortSamples() {
+// sortLocked sorts the samples; callers must hold h.mu.
+func (h *Histogram) sortLocked() {
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
 		h.sorted = true
@@ -40,10 +63,12 @@ func (h *Histogram) sortSamples() {
 // Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank,
 // or 0 with no samples.
 func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sortSamples()
+	h.sortLocked()
 	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -56,6 +81,8 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -68,29 +95,39 @@ func (h *Histogram) Mean() time.Duration {
 
 // Max returns the largest sample.
 func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sortSamples()
+	h.sortLocked()
 	return h.samples[len(h.samples)-1]
 }
 
 // Min returns the smallest sample.
 func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sortSamples()
+	h.sortLocked()
 	return h.samples[0]
 }
 
 // Stddev returns the sample standard deviation.
 func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n < 2 {
 		return 0
 	}
-	mean := float64(h.Mean())
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	mean := float64(sum / time.Duration(n))
 	var acc float64
 	for _, s := range h.samples {
 		d := float64(s) - mean
@@ -107,23 +144,36 @@ func (h *Histogram) String() string {
 // IntHistogram accumulates integer samples (e.g. timeouts per ledger,
 // transactions per ledger — Fig 8 and the §7.3 baseline).
 type IntHistogram struct {
+	mu      sync.Mutex
 	samples []int
 	sorted  bool
 }
 
 // Add records one sample.
 func (h *IntHistogram) Add(v int) {
+	h.mu.Lock()
 	h.samples = append(h.samples, v)
 	h.sorted = false
+	h.mu.Unlock()
 }
 
 // N returns the number of samples.
-func (h *IntHistogram) N() int { return len(h.samples) }
+func (h *IntHistogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
-// Samples returns the raw samples; callers must not mutate them.
-func (h *IntHistogram) Samples() []int { return h.samples }
+// Samples returns a copy of the samples, in insertion order unless a
+// percentile query has sorted them.
+func (h *IntHistogram) Samples() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.samples...)
+}
 
-func (h *IntHistogram) sortSamples() {
+// sortLocked sorts the samples; callers must hold h.mu.
+func (h *IntHistogram) sortLocked() {
 	if !h.sorted {
 		sort.Ints(h.samples)
 		h.sorted = true
@@ -132,10 +182,12 @@ func (h *IntHistogram) sortSamples() {
 
 // Percentile returns the p-th percentile by nearest-rank.
 func (h *IntHistogram) Percentile(p float64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sortSamples()
+	h.sortLocked()
 	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -148,6 +200,12 @@ func (h *IntHistogram) Percentile(p float64) int {
 
 // Mean returns the arithmetic mean.
 func (h *IntHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *IntHistogram) meanLocked() float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -160,20 +218,24 @@ func (h *IntHistogram) Mean() float64 {
 
 // Max returns the largest sample.
 func (h *IntHistogram) Max() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sortSamples()
+	h.sortLocked()
 	return h.samples[len(h.samples)-1]
 }
 
 // Stddev returns the sample standard deviation.
 func (h *IntHistogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n < 2 {
 		return 0
 	}
-	mean := h.Mean()
+	mean := h.meanLocked()
 	var acc float64
 	for _, s := range h.samples {
 		d := float64(s) - mean

@@ -94,3 +94,42 @@ func TestPercentileBounds(t *testing.T) {
 		t.Fatal("percentile bounds wrong for single sample")
 	}
 }
+
+func TestHistogramConcurrentReadersAndWriters(t *testing.T) {
+	var h Histogram
+	var ih IntHistogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			h.Add(time.Duration(i) * time.Microsecond)
+			ih.Add(i)
+		}
+	}()
+	// Concurrent percentile queries (which sort internally) and snapshot
+	// reads must not race with the writer or observe mid-sort state.
+	for i := 0; i < 200; i++ {
+		_ = h.Percentile(99)
+		_ = h.Mean()
+		_ = ih.Percentile(50)
+		s := h.Samples()
+		s2 := ih.Samples()
+		_ = append(s, 0)  // mutating the copies
+		_ = append(s2, 0) // must be safe
+	}
+	<-done
+	if h.N() != 2000 || ih.N() != 2000 {
+		t.Fatalf("n = %d/%d, want 2000", h.N(), ih.N())
+	}
+}
+
+func TestSamplesReturnsCopy(t *testing.T) {
+	var h Histogram
+	h.Add(3 * time.Second)
+	h.Add(1 * time.Second)
+	s := h.Samples()
+	s[0] = 99 * time.Second // must not corrupt internal state
+	if h.Min() != time.Second || h.Max() != 3*time.Second {
+		t.Fatal("external mutation leaked into histogram")
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind identifies one step of the SCP protocol lifecycle. The kinds
+// cover the paper's Fig 2 walk-through: nomination rounds feeding the
+// ballot protocol's prepare → commit → externalize exchanges, plus the
+// timeouts and envelope traffic that §7.2–§7.3 measure.
+type EventKind uint8
+
+// Protocol trace event kinds, in rough lifecycle order.
+const (
+	EvNominationStart    EventKind = iota // herder started nominating a value
+	EvNominationRound                     // nomination escalated to a new round
+	EvCandidateConfirmed                  // first value confirmed nominated
+	EvBallotPrepare                       // moved to a new ballot (prepare voting)
+	EvAcceptPrepare                       // accepted a ballot as prepared
+	EvConfirmPrepare                      // confirmed a ballot prepared (commit voting)
+	EvAcceptCommit                        // accepted commit: value is fixed
+	EvExternalize                         // slot decided
+	EvLedgerApplied                       // decided value applied to the ledger
+	EvTimeout                             // a nomination or ballot timer fired
+	EvEnvelopeEmit                        // this node broadcast an SCP envelope
+	EvEnvelopeRecv                        // an SCP envelope arrived from a peer
+)
+
+var eventKindNames = [...]string{
+	EvNominationStart:    "nomination_start",
+	EvNominationRound:    "nomination_round",
+	EvCandidateConfirmed: "candidate_confirmed",
+	EvBallotPrepare:      "ballot_prepare",
+	EvAcceptPrepare:      "accept_prepare",
+	EvConfirmPrepare:     "confirm_prepare",
+	EvAcceptCommit:       "accept_commit",
+	EvExternalize:        "externalize",
+	EvLedgerApplied:      "ledger_applied",
+	EvTimeout:            "timeout",
+	EvEnvelopeEmit:       "envelope_emit",
+	EvEnvelopeRecv:       "envelope_recv",
+}
+
+// String names the kind for logs and the trace endpoint.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one protocol occurrence on one node.
+type Event struct {
+	// At is the node's (virtual) clock when the event happened.
+	At time.Duration
+	// Slot is the SCP slot (= ledger sequence) the event belongs to.
+	Slot uint64
+	Kind EventKind
+	// Counter carries the ballot counter or nomination round, when
+	// meaningful.
+	Counter uint32
+	// Peer identifies the remote node for envelope receive events.
+	Peer string
+	// Detail is a short free-form annotation (statement type, timer
+	// kind, value digest).
+	Detail string
+}
+
+// DefaultTraceCapacity bounds a recorder's memory: with ~25 events per
+// slot on a small network this holds a few hundred recent slots.
+const DefaultTraceCapacity = 8192
+
+// Recorder is a bounded ring buffer of protocol events. Writers are the
+// consensus hot path, so Record is a mutex-guarded append with no
+// allocation; readers reconstruct per-slot timelines from a copy.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64 // events ever recorded; total-len(live) have been evicted
+}
+
+// NewRecorder creates a recorder holding up to capacity events
+// (capacity ≤ 0 selects DefaultTraceCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns a chronological copy of the live buffer.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// SlotEvents returns the live events for one slot, oldest first.
+func (r *Recorder) SlotEvents(slot uint64) []Event {
+	all := r.Events()
+	out := all[:0:0]
+	for _, ev := range all {
+		if ev.Slot == slot {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Timeline is a reconstructed per-slot consensus history: the §7.3 phase
+// breakdown (nomination → balloting → apply) recovered from raw events.
+type Timeline struct {
+	Slot   uint64
+	Events []Event
+
+	// Phase boundary timestamps; a zero Has* means the boundary was not
+	// observed (still running, or evicted from the ring).
+	HasNomination  bool
+	NominationAt   time.Duration
+	HasPrepare     bool
+	FirstPrepareAt time.Duration
+	HasCommit      bool
+	AcceptCommitAt time.Duration
+	HasDecision    bool
+	ExternalizedAt time.Duration
+	HasApplied     bool
+	AppliedAt      time.Duration
+
+	// Derived durations (zero when a boundary is missing). Nomination and
+	// Balloting correspond to the paper's Fig 9–11 series.
+	Nomination time.Duration // nomination start → first prepare
+	Balloting  time.Duration // first prepare → externalize
+	Total      time.Duration // nomination start → externalize
+
+	// Volume counters over the slot's events.
+	Timeouts         int
+	NominationRounds int
+	EnvelopesEmitted int
+	EnvelopesRecv    int
+}
+
+// SlotTimeline reconstructs the timeline for one slot from the live
+// events. Events arrive in recording order, which the single-threaded
+// consensus core already guarantees is chronological per node.
+func (r *Recorder) SlotTimeline(slot uint64) Timeline {
+	evs := r.SlotEvents(slot)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	tl := Timeline{Slot: slot, Events: evs}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvNominationStart:
+			if !tl.HasNomination {
+				tl.HasNomination = true
+				tl.NominationAt = ev.At
+			}
+		case EvNominationRound:
+			tl.NominationRounds++
+		case EvBallotPrepare:
+			if !tl.HasPrepare {
+				tl.HasPrepare = true
+				tl.FirstPrepareAt = ev.At
+			}
+		case EvAcceptCommit:
+			if !tl.HasCommit {
+				tl.HasCommit = true
+				tl.AcceptCommitAt = ev.At
+			}
+		case EvExternalize:
+			if !tl.HasDecision {
+				tl.HasDecision = true
+				tl.ExternalizedAt = ev.At
+			}
+		case EvLedgerApplied:
+			if !tl.HasApplied {
+				tl.HasApplied = true
+				tl.AppliedAt = ev.At
+			}
+		case EvTimeout:
+			tl.Timeouts++
+		case EvEnvelopeEmit:
+			tl.EnvelopesEmitted++
+		case EvEnvelopeRecv:
+			tl.EnvelopesRecv++
+		}
+	}
+	if tl.HasNomination && tl.HasPrepare {
+		tl.Nomination = tl.FirstPrepareAt - tl.NominationAt
+	}
+	if tl.HasPrepare && tl.HasDecision {
+		tl.Balloting = tl.ExternalizedAt - tl.FirstPrepareAt
+	}
+	if tl.HasNomination && tl.HasDecision {
+		tl.Total = tl.ExternalizedAt - tl.NominationAt
+	}
+	return tl
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{At: time.Duration(i), Slot: uint64(i), Kind: EvEnvelopeEmit})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("live events = %d, want 4", len(evs))
+	}
+	// Oldest two evicted; survivors chronological.
+	for i, ev := range evs {
+		if ev.Slot != uint64(i+2) {
+			t.Fatalf("event[%d].Slot = %d, want %d", i, ev.Slot, i+2)
+		}
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+}
+
+func TestSlotTimelineReconstruction(t *testing.T) {
+	r := NewRecorder(64)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	r.Record(Event{At: ms(0), Slot: 7, Kind: EvNominationStart})
+	r.Record(Event{At: ms(1), Slot: 7, Kind: EvEnvelopeEmit, Detail: "nominate"})
+	r.Record(Event{At: ms(2), Slot: 7, Kind: EvEnvelopeRecv, Peer: "n2"})
+	r.Record(Event{At: ms(3), Slot: 8, Kind: EvNominationStart}) // other slot: excluded
+	r.Record(Event{At: ms(5), Slot: 7, Kind: EvCandidateConfirmed})
+	r.Record(Event{At: ms(6), Slot: 7, Kind: EvBallotPrepare, Counter: 1})
+	r.Record(Event{At: ms(8), Slot: 7, Kind: EvTimeout, Detail: "ballot"})
+	r.Record(Event{At: ms(9), Slot: 7, Kind: EvAcceptCommit, Counter: 2})
+	r.Record(Event{At: ms(10), Slot: 7, Kind: EvExternalize})
+	r.Record(Event{At: ms(11), Slot: 7, Kind: EvLedgerApplied})
+
+	tl := r.SlotTimeline(7)
+	if len(tl.Events) != 9 {
+		t.Fatalf("events = %d, want 9", len(tl.Events))
+	}
+	if !tl.HasNomination || !tl.HasPrepare || !tl.HasCommit || !tl.HasDecision || !tl.HasApplied {
+		t.Fatalf("missing boundaries: %+v", tl)
+	}
+	if tl.Nomination != ms(6) {
+		t.Fatalf("nomination = %v, want 6ms", tl.Nomination)
+	}
+	if tl.Balloting != ms(4) {
+		t.Fatalf("balloting = %v, want 4ms", tl.Balloting)
+	}
+	if tl.Total != ms(10) {
+		t.Fatalf("total = %v, want 10ms", tl.Total)
+	}
+	if tl.Timeouts != 1 || tl.EnvelopesEmitted != 1 || tl.EnvelopesRecv != 1 {
+		t.Fatalf("counts = %+v", tl)
+	}
+	// Events strictly ordered by time.
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].At < tl.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Slot: 1, Kind: EvEnvelopeEmit})
+				if i%50 == 0 {
+					_ = r.SlotTimeline(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", r.Total())
+	}
+}
+
+func TestObsNormalize(t *testing.T) {
+	var o *Obs
+	n := o.Normalize()
+	if n.Reg == nil || n.Trace == nil || n.Log == nil {
+		t.Fatal("Normalize left nil fields")
+	}
+	partial := &Obs{Log: NewLogger(nopWriter{}, 0)}
+	if p := partial.Normalize(); p.Reg == nil || p.Trace == nil {
+		t.Fatal("partial Normalize left nil fields")
+	}
+	Component(nil, "x").Info("discarded")
+	Component(n.Log, "herder").Debug("also discarded")
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

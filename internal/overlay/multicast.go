@@ -84,7 +84,7 @@ func (o *Overlay) disseminate(p *Packet, except simnet.Addr) {
 				continue
 			}
 			o.FloodsSent++
-			o.net.Send(o.self, child, p, p.size())
+			o.send(child, p)
 		}
 		return
 	}

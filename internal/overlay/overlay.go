@@ -7,7 +7,11 @@
 package overlay
 
 import (
+	"fmt"
+	"log/slog"
+
 	"stellar/internal/ledger"
+	"stellar/internal/obs"
 	"stellar/internal/scp"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
@@ -27,6 +31,24 @@ const (
 	KindCatchupReq
 	KindCatchupResp
 )
+
+// String names the kind for metric labels and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindEnvelope:
+		return "envelope"
+	case KindTx:
+		return "tx"
+	case KindTxSet:
+		return "txset"
+	case KindCatchupReq:
+		return "catchup_req"
+	case KindCatchupResp:
+		return "catchup_resp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
 
 // Packet is the unit of flooding.
 type Packet struct {
@@ -132,6 +154,39 @@ type Overlay struct {
 	FloodsSent     uint64
 	Delivered      uint64
 	DupesSuppessed uint64
+
+	// Registry instruments (nil until SetObs; guarded at each use so an
+	// unwired overlay — unit tests, tools — costs nothing).
+	ins *overlayInstruments
+	log *slog.Logger
+}
+
+// overlayInstruments are the overlay's registry series.
+type overlayInstruments struct {
+	pktsSent  *obs.CounterVec // overlay_packets_sent_total{kind}
+	bytesSent *obs.CounterVec // overlay_bytes_sent_total{kind}
+	delivered *obs.CounterVec // overlay_packets_delivered_total{kind}
+	dupes     *obs.Counter    // overlay_dupes_suppressed_total
+	peers     *obs.Gauge      // overlay_peers
+}
+
+// SetObs wires the overlay's counters into a registry and attaches a
+// component logger; nil arguments disable the respective facility.
+func (o *Overlay) SetObs(reg *obs.Registry, log *slog.Logger) {
+	if reg != nil {
+		o.ins = &overlayInstruments{
+			pktsSent: reg.CounterVec("overlay_packets_sent_total",
+				"packets this node sent (floods, tree multicast, direct)", "kind"),
+			bytesSent: reg.CounterVec("overlay_bytes_sent_total",
+				"approximate wire bytes this node sent (§7.4 bandwidth)", "kind"),
+			delivered: reg.CounterVec("overlay_packets_delivered_total",
+				"novel packets delivered to the application", "kind"),
+			dupes: reg.Counter("overlay_dupes_suppressed_total",
+				"duplicate packets dropped by the flood dedup cache"),
+			peers: reg.Gauge("overlay_peers", "connected peer count"),
+		}
+	}
+	o.log = log
 }
 
 // New creates an overlay endpoint for self on the simulated network.
@@ -157,6 +212,20 @@ func (o *Overlay) Connect(peers ...simnet.Addr) {
 			o.peers = append(o.peers, p)
 		}
 	}
+	if o.ins != nil {
+		o.ins.peers.Set(float64(len(o.peers)))
+	}
+}
+
+// send transmits one packet to one peer, recording volume counters.
+func (o *Overlay) send(to simnet.Addr, p *Packet) {
+	size := p.size()
+	if o.ins != nil {
+		kind := p.Kind.String()
+		o.ins.pktsSent.With(kind).Inc()
+		o.ins.bytesSent.With(kind).Add(float64(size))
+	}
+	o.net.Send(o.self, to, p, size)
 }
 
 // Peers returns the connected peers.
@@ -193,7 +262,7 @@ func (o *Overlay) BroadcastTx(tx *ledger.Transaction) {
 
 // SendDirect delivers a packet point-to-point: no flooding, no dedup.
 func (o *Overlay) SendDirect(to simnet.Addr, p *Packet) {
-	o.net.Send(o.self, to, p, p.size())
+	o.send(to, p)
 }
 
 // BroadcastTxSet floods a proposed transaction set so peers can validate
@@ -214,7 +283,7 @@ func (o *Overlay) flood(p *Packet, except simnet.Addr) {
 			continue
 		}
 		o.FloodsSent++
-		o.net.Send(o.self, peer, p, p.size())
+		o.send(peer, p)
 	}
 }
 
@@ -232,9 +301,15 @@ func (o *Overlay) HandleMessage(from simnet.Addr, msg any, size int) {
 	}
 	if !o.markSeen(p.id(o.networkID)) {
 		o.DupesSuppessed++
+		if o.ins != nil {
+			o.ins.dupes.Inc()
+		}
 		return
 	}
 	o.Delivered++
+	if o.ins != nil {
+		o.ins.delivered.With(p.Kind.String()).Inc()
+	}
 	switch p.Kind {
 	case KindEnvelope:
 		if o.OnEnvelope != nil {

@@ -18,6 +18,9 @@ func (s *Slot) startNomination(proposal Value) {
 	s.nomStarted = true
 	s.nomRound = 1
 	s.proposal = proposal
+	if td := s.tracer(); td != nil {
+		td.NominationRoundStarted(s.index, s.nomRound)
+	}
 	s.updateRoundLeaders()
 	s.takeLeaderVotes()
 	s.maybeEmitNomination()
@@ -102,6 +105,9 @@ func (s *Slot) nominationTimerFired() {
 		md.Timeout(s.index, TimerNomination)
 	}
 	s.nomRound++
+	if td := s.tracer(); td != nil {
+		td.NominationRoundStarted(s.index, s.nomRound)
+	}
 	s.updateRoundLeaders()
 	s.takeLeaderVotes()
 	s.reprocessNomination()
