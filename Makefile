@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+# CHAOS_SEEDS widens the randomized chaos sweeps (see internal/chaos and
+# the nightly CI job); unset, the tests run their small default sweeps.
+CHAOS_SEEDS ?=
+
+.PHONY: all build test race vet fmt check bench bench-smoke chaos soak
 
 all: check
 
@@ -23,8 +27,23 @@ fmt:
 	fi
 
 # check is the full local gate: formatting, static analysis, and the race
-# detector over the whole tree.
+# detector over the whole tree. CI's push gate runs exactly this.
 check: fmt vet race
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline' -count 3 .
+
+# bench-smoke runs each benchmark once — a fast regression tripwire for CI,
+# not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline' -benchtime 1x .
+
+# chaos runs the fault-injection acceptance scenarios (partition +
+# Byzantine equivocators + heal across 20 seeds, plus the soak sweep).
+chaos:
+	$(GO) test ./internal/chaos/ ./internal/experiments/ -run 'Chaos|PartitionHeal|RandomScenario' -v
+
+# soak is the nightly-sized run: every chaos sweep widened by CHAOS_SEEDS
+# and repeated, plus the long experiments soaks.
+soak:
+	CHAOS_SEEDS=$(or $(CHAOS_SEEDS),40) $(GO) test ./internal/chaos/ ./internal/experiments/ -count 2 -timeout 45m

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"fmt"
+
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+)
+
+// NodeView is the slice of a validator the invariant checker reads. A
+// *herder.Node satisfies it; tests use fakes to force violations.
+type NodeView interface {
+	// LastHeader returns the latest closed ledger header.
+	LastHeader() *ledger.Header
+	// HeaderHash returns the hash of the header closed at seq, if known.
+	HeaderHash(seq uint32) (stellarcrypto.Hash, bool)
+}
+
+// InvariantError reports a violated invariant. The runner wraps it with
+// the scenario seed and replay command before surfacing it.
+type InvariantError struct {
+	Invariant string // "safety" | "monotonicity" | "liveness"
+	Detail    string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("%s invariant violated: %s", e.Invariant, e.Detail)
+}
+
+// Checker verifies safety and monotonicity incrementally over the intact
+// nodes of a running scenario. Check is called after every simulated tick;
+// each call only examines ledgers closed since the previous one, so a full
+// run costs O(total ledgers), not O(ticks × ledgers).
+//
+// Safety is checked against a canonical header hash per sequence: the
+// first node to close a ledger defines it, and every other node's header
+// for that sequence must match. Because each header hash commits to the
+// whole chain prefix (and, through TxSetHash and SCPValueHash, to the
+// externalized consensus value), agreement on header hashes is agreement
+// on externalized values.
+type Checker struct {
+	nodes   []NodeView
+	canon   map[uint32]stellarcrypto.Hash
+	canonBy map[uint32]int // node index that set the canonical hash
+	checked []uint32       // per node: highest sequence verified
+	lastSeq []uint32       // per node: monotonicity watermark
+}
+
+// NewChecker builds a checker over the given (intact) nodes.
+func NewChecker(nodes ...NodeView) *Checker {
+	return &Checker{
+		nodes:   nodes,
+		canon:   make(map[uint32]stellarcrypto.Hash),
+		canonBy: make(map[uint32]int),
+		checked: make([]uint32, len(nodes)),
+		lastSeq: make([]uint32, len(nodes)),
+	}
+}
+
+// Check verifies safety and monotonicity over everything closed since the
+// last call. It returns nil when both hold.
+func (c *Checker) Check() *InvariantError {
+	for i, n := range c.nodes {
+		last := n.LastHeader()
+		if last == nil {
+			continue
+		}
+		seq := last.LedgerSeq
+		if seq < c.lastSeq[i] {
+			return &InvariantError{
+				Invariant: "monotonicity",
+				Detail: fmt.Sprintf("node %d regressed from ledger %d to %d",
+					i, c.lastSeq[i], seq),
+			}
+		}
+		c.lastSeq[i] = seq
+		for s := c.checked[i] + 1; s <= seq; s++ {
+			h, ok := n.HeaderHash(s)
+			if !ok {
+				// A node that fast-forwarded from an archive checkpoint
+				// has no headers below the checkpoint; nothing to compare.
+				continue
+			}
+			if ref, ok := c.canon[s]; ok {
+				if ref != h {
+					return &InvariantError{
+						Invariant: "safety",
+						Detail: fmt.Sprintf("nodes %d and %d externalized different values for ledger %d (%s vs %s)",
+							c.canonBy[s], i, s, ref, h),
+					}
+				}
+			} else {
+				c.canon[s] = h
+				c.canonBy[s] = i
+			}
+		}
+		c.checked[i] = seq
+	}
+	return nil
+}
+
+// Seqs returns each node's last observed ledger sequence.
+func (c *Checker) Seqs() []uint32 {
+	out := make([]uint32, len(c.lastSeq))
+	copy(out, c.lastSeq)
+	return out
+}
+
+// MinSeq returns the lowest last-closed ledger across nodes.
+func (c *Checker) MinSeq() uint32 {
+	if len(c.lastSeq) == 0 {
+		return 0
+	}
+	min := c.lastSeq[0]
+	for _, s := range c.lastSeq[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// MaxSeq returns the highest last-closed ledger across nodes.
+func (c *Checker) MaxSeq() uint32 {
+	var max uint32
+	for _, s := range c.lastSeq {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// checkLiveness verifies that every node closed at least k ledgers beyond
+// its baseline (the sequence it held when the network healed).
+func checkLiveness(seqs, baseline []uint32, k int) *InvariantError {
+	for i := range seqs {
+		if int64(seqs[i])-int64(baseline[i]) < int64(k) {
+			return &InvariantError{
+				Invariant: "liveness",
+				Detail: fmt.Sprintf("node %d closed only %d ledgers after heal (at %d), want ≥ %d",
+					i, int64(seqs[i])-int64(baseline[i]), seqs[i], k),
+			}
+		}
+	}
+	return nil
+}
+
+// livenessSatisfied reports whether every node already meets the target.
+func livenessSatisfied(seqs, baseline []uint32, k int) bool {
+	return checkLiveness(seqs, baseline, k) == nil
+}

@@ -1,0 +1,346 @@
+package chaos
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"stellar/internal/experiments"
+	"stellar/internal/fba"
+	"stellar/internal/obs"
+	"stellar/internal/qconfig"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// Report summarizes a completed scenario run.
+type Report struct {
+	Name             string
+	Seed             int64
+	VirtualTime      time.Duration
+	MinSeq           uint32 // lowest last-closed ledger across honest nodes
+	MaxSeq           uint32 // highest last-closed ledger across honest nodes
+	LedgersAfterHeal uint32 // fewest ledgers any honest node closed after the last fault
+	FaultsInjected   int
+	AdversaryPackets uint64
+	NetStats         simnet.Stats
+}
+
+// String renders the report as one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s seed=%d: ok  ledgers=%d..%d  after-heal=%d  faults=%d  adv-packets=%d  t=%v",
+		r.Name, r.Seed, r.MinSeq, r.MaxSeq, r.LedgersAfterHeal, r.FaultsInjected,
+		r.AdversaryPackets, r.VirtualTime)
+}
+
+// instruments are the chaos harness's registry series.
+type instruments struct {
+	scenarios *obs.CounterVec // chaos_scenarios_total{outcome}
+	faults    *obs.CounterVec // chaos_faults_injected_total{kind}
+	failures  *obs.CounterVec // chaos_invariant_failures_total{invariant}
+	ledgers   *obs.Counter    // chaos_ledgers_closed_total
+	advSent   *obs.Counter    // chaos_adversary_packets_total
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	return &instruments{
+		scenarios: reg.CounterVec("chaos_scenarios_total",
+			"chaos scenarios run, by outcome", "outcome"),
+		faults: reg.CounterVec("chaos_faults_injected_total",
+			"faults injected into simulated networks", "kind"),
+		failures: reg.CounterVec("chaos_invariant_failures_total",
+			"invariant violations detected", "invariant"),
+		ledgers: reg.Counter("chaos_ledgers_closed_total",
+			"ledgers closed across all chaos scenarios (slowest node's view)"),
+		advSent: reg.Counter("chaos_adversary_packets_total",
+			"attack packets emitted by Byzantine adversaries"),
+	}
+}
+
+// Runner executes one scenario: it builds the simulated network and its
+// adversaries, applies the fault schedule in virtual-time order, checks
+// invariants every tick, and enforces liveness recovery after the heal.
+type Runner struct {
+	Scenario Scenario
+	Sim      *experiments.SimNetwork
+	Advs     []*Adversary
+	Checker  *Checker
+
+	baseLatency simnet.LatencyModel
+	ins         *instruments
+	log         *slog.Logger
+}
+
+// Run builds and executes a scenario; ob (optional) supplies the metric
+// registry for outcome counters and the logger.
+func Run(sc Scenario, ob *obs.Obs) (*Report, error) {
+	r, err := NewRunner(sc, ob)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// quorumSetFor builds the quorum set every validator (honest and
+// Byzantine) advertises, given the scenario topology.
+func quorumSetFor(topology Topology, honest, byz []fba.NodeID) (fba.QuorumSet, error) {
+	switch topology {
+	case TopologyFlat:
+		all := append(append([]fba.NodeID(nil), honest...), byz...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		// Any two quorums must intersect in more than |byz| nodes, so the
+		// intersection always contains an honest node: 2t−n ≥ f+1.
+		t := (len(all)+len(byz))/2 + 1
+		return fba.QuorumSet{Threshold: t, Validators: all}, nil
+	case TopologyTiered:
+		// Organizations of three, at most one Byzantine member each (its
+		// org's 2-of-3 threshold still reaches honest agreement).
+		members := append([]fba.NodeID(nil), honest...)
+		for i, b := range byz {
+			at := i * 3
+			if at > len(members) {
+				at = len(members)
+			}
+			members = append(members[:at], append([]fba.NodeID{b}, members[at:]...)...)
+		}
+		if len(members)%3 != 0 {
+			return fba.QuorumSet{}, fmt.Errorf("chaos: tiered topology needs a multiple of 3 validators, have %d", len(members))
+		}
+		var cfg qconfig.Config
+		for o := 0; o*3 < len(members); o++ {
+			cfg.Orgs = append(cfg.Orgs, qconfig.Organization{
+				Name:       fmt.Sprintf("org%02d", o),
+				Quality:    qconfig.High,
+				Validators: members[o*3 : o*3+3],
+			})
+		}
+		return cfg.Synthesize()
+	default:
+		return fba.QuorumSet{}, fmt.Errorf("chaos: unknown topology %q", topology)
+	}
+}
+
+// NewRunner builds the scenario's network, adversaries, and checker.
+func NewRunner(sc Scenario, ob *obs.Obs) (*Runner, error) {
+	sc.defaults()
+	ob = ob.Normalize()
+	r := &Runner{
+		Scenario: sc,
+		ins:      newInstruments(ob.Reg),
+		log:      obs.Component(ob.Log, "chaos"),
+	}
+
+	// Byzantine identities exist before the network is built so honest
+	// quorum sets can include them (a befouled configuration, §3.1).
+	byzKeys := stellarcrypto.DeterministicKeyPairs(fmt.Sprintf("byzantine-%d", sc.Seed), sc.Byzantine)
+	byzIDs := make([]fba.NodeID, len(byzKeys))
+	for i, kp := range byzKeys {
+		byzIDs[i] = fba.NodeIDFromPublicKey(kp.Public)
+	}
+
+	var qsErr error
+	opts := experiments.Options{
+		Validators:     sc.Validators,
+		Accounts:       sc.Accounts,
+		TxRate:         sc.TxRate,
+		LedgerInterval: sc.LedgerInterval,
+		Seed:           sc.Seed,
+		QSetFor: func(i int, all []fba.NodeID) fba.QuorumSet {
+			qs, err := quorumSetFor(sc.Topology, all, byzIDs)
+			if err != nil && qsErr == nil {
+				qsErr = err
+			}
+			return qs
+		},
+	}
+	sim, err := experiments.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if qsErr != nil {
+		return nil, qsErr
+	}
+	r.Sim = sim
+	r.baseLatency = sim.Net.Latency()
+
+	honestAddrs := make([]simnet.Addr, len(sim.Nodes))
+	honestIDs := make([]fba.NodeID, len(sim.Nodes))
+	views := make([]NodeView, len(sim.Nodes))
+	for i, n := range sim.Nodes {
+		honestAddrs[i] = n.Addr()
+		honestIDs[i] = n.ID()
+		views[i] = n
+	}
+	r.Checker = NewChecker(views...)
+
+	for i, kp := range byzKeys {
+		qs, err := quorumSetFor(sc.Topology, honestIDs, byzIDs)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(sc.Seed ^ int64(0x5eed<<16) ^ int64(i+1)))
+		adv := NewAdversary(sim.Net, kp, qs, sim.NetworkID, sc.Behaviors, rng)
+		adv.Connect(honestAddrs...)
+		for _, n := range sim.Nodes {
+			n.Overlay().Connect(adv.Addr())
+		}
+		r.Advs = append(r.Advs, adv)
+	}
+	return r, nil
+}
+
+// apply injects one fault into the running network.
+func (r *Runner) apply(f Fault) {
+	net := r.Sim.Net
+	addr := func(i int) simnet.Addr { return r.Sim.Nodes[i].Addr() }
+	switch f.Kind {
+	case FaultPartition:
+		groups := make([][]simnet.Addr, len(f.Groups))
+		for gi, g := range f.Groups {
+			for _, i := range g {
+				groups[gi] = append(groups[gi], addr(i))
+			}
+		}
+		net.PartitionGroups(groups...)
+	case FaultHeal:
+		net.HealAll()
+	case FaultCrash:
+		net.SetDown(addr(f.Node))
+	case FaultRestart:
+		net.SetUp(addr(f.Node))
+		// The process is back with its herder state intact: re-arm its
+		// ledger cadence and let it announce its latest consensus state.
+		r.Sim.Nodes[f.Node].Start()
+		r.Sim.Nodes[f.Node].RebroadcastLatest()
+	case FaultDropRate:
+		net.SetDropRate(f.Rate)
+	case FaultLinkLoss:
+		net.SetLinkDropRate(addr(f.From), addr(f.To), f.Rate)
+	case FaultLatencySpike:
+		base := r.baseLatency
+		extra := f.Extra
+		net.SetLatency(func(from, to simnet.Addr, rng *rand.Rand) time.Duration {
+			return base(from, to, rng) + extra
+		})
+	case FaultLatencyRestore:
+		net.SetLatency(r.baseLatency)
+	}
+	if r.ins != nil {
+		r.ins.faults.With(f.Kind.String()).Inc()
+	}
+	r.log.Info("fault injected", "fault", f.String(), "t", net.Now())
+}
+
+// fail records and wraps an invariant violation with everything needed to
+// reproduce it: the scenario seed, the fault schedule, and a replay
+// command.
+func (r *Runner) fail(ie *InvariantError) error {
+	if r.ins != nil {
+		r.ins.failures.With(ie.Invariant).Inc()
+		r.ins.scenarios.With("fail").Inc()
+	}
+	var faults strings.Builder
+	for _, f := range r.Scenario.Faults {
+		fmt.Fprintf(&faults, "    %s\n", f)
+	}
+	return fmt.Errorf("chaos: scenario %q seed %d: %w\n  schedule:\n%s  replay: %s",
+		r.Scenario.Name, r.Scenario.Seed, ie, faults.String(), r.Scenario.ReplayCommand())
+}
+
+// Run executes the scenario and returns its report, or an error carrying
+// the seed and replay command if any invariant fails.
+func (r *Runner) Run() (*Report, error) {
+	sc := r.Scenario
+	sched := append(Schedule(nil), sc.Faults...)
+	sched.Sort()
+
+	r.Sim.Start()
+	for _, a := range r.Advs {
+		a.Start()
+	}
+
+	net := r.Sim.Net
+	nextAE := sc.AntiEntropy
+	// advance steps virtual time to the target, checking invariants every
+	// tick and running anti-entropy rebroadcast on its cadence.
+	advance := func(until time.Duration) *InvariantError {
+		for net.Now() < until {
+			step := until - net.Now()
+			if step > sc.Tick {
+				step = sc.Tick
+			}
+			net.RunFor(step)
+			if ie := r.Checker.Check(); ie != nil {
+				return ie
+			}
+			if net.Now() >= nextAE {
+				for _, n := range r.Sim.Nodes {
+					n.RebroadcastLatest()
+				}
+				nextAE = net.Now() + sc.AntiEntropy
+			}
+		}
+		return nil
+	}
+
+	for _, f := range sched {
+		if ie := advance(f.At); ie != nil {
+			return nil, r.fail(ie)
+		}
+		r.apply(f)
+	}
+
+	// The network is healed; the liveness-recovery clock starts.
+	healAt := net.Now()
+	baseline := r.Checker.Seqs()
+	deadline := healAt + sc.LivenessWindow
+	for net.Now() < deadline {
+		target := net.Now() + sc.Tick
+		if target > deadline {
+			target = deadline
+		}
+		if ie := advance(target); ie != nil {
+			return nil, r.fail(ie)
+		}
+		if livenessSatisfied(r.Checker.Seqs(), baseline, sc.LivenessLedgers) {
+			break
+		}
+	}
+	if ie := checkLiveness(r.Checker.Seqs(), baseline, sc.LivenessLedgers); ie != nil {
+		return nil, r.fail(ie)
+	}
+
+	rep := &Report{
+		Name:           sc.Name,
+		Seed:           sc.Seed,
+		VirtualTime:    net.Now(),
+		MinSeq:         r.Checker.MinSeq(),
+		MaxSeq:         r.Checker.MaxSeq(),
+		FaultsInjected: len(sched),
+		NetStats:       net.Stats(),
+	}
+	after := ^uint32(0)
+	seqs := r.Checker.Seqs()
+	for i := range seqs {
+		if d := seqs[i] - baseline[i]; d < after {
+			after = d
+		}
+	}
+	rep.LedgersAfterHeal = after
+	for _, a := range r.Advs {
+		rep.AdversaryPackets += a.Emitted
+	}
+	if r.ins != nil {
+		r.ins.scenarios.With("pass").Inc()
+		r.ins.ledgers.Add(float64(rep.MinSeq))
+		r.ins.advSent.Add(float64(rep.AdversaryPackets))
+	}
+	r.log.Info("scenario passed", "report", rep.String())
+	return rep, nil
+}

@@ -1,8 +1,10 @@
 package herder
 
 import (
+	"bytes"
 	"fmt"
 	"log/slog"
+	"sort"
 	"time"
 
 	"stellar/internal/bucket"
@@ -310,6 +312,15 @@ func (n *Node) triggerNextLedger() {
 			candidates = append(candidates, tx)
 		}
 	}
+	// The pool is a map; canonicalize the order so the proposed set (and
+	// surge-pricing tie-breaks) never depend on map iteration. Seeded
+	// simulations must replay bit-identically.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Source != candidates[j].Source {
+			return candidates[i].Source < candidates[j].Source
+		}
+		return candidates[i].SeqNum < candidates[j].SeqNum
+	})
 	candidates = ledger.SurgePrice(candidates, n.cfg.MaxTxSetSize)
 	ts := &ledger.TxSet{PrevLedgerHash: n.last.Hash(), Txs: candidates}
 	tsHash := ts.Hash(n.cfg.NetworkID)
@@ -597,9 +608,18 @@ func (n *Node) RebroadcastLatest() {
 		}
 	}
 	// Also re-flood known tx sets for open slots so laggards can apply.
-	for h, ts := range n.txsets {
-		_ = h
-		n.ov.BroadcastTxSet(ts)
+	// Iterate in sorted hash order: send order feeds the simulated
+	// network's event and RNG sequence, and seeded runs must replay
+	// bit-identically.
+	hashes := make([]stellarcrypto.Hash, 0, len(n.txsets))
+	for h := range n.txsets {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool {
+		return bytes.Compare(hashes[i][:], hashes[j][:]) < 0
+	})
+	for _, h := range hashes {
+		n.ov.BroadcastTxSet(n.txsets[h])
 	}
 }
 

@@ -1,0 +1,168 @@
+package overlay
+
+// Dissemination under adverse delivery: random message loss and duplicate
+// injection. Flooding's redundancy (every peer forwards novel messages to
+// all other peers) should ride out moderate loss, structured multicast's
+// single-path trees should not, and the dedup cache must absorb duplicates
+// arriving via any path without double-delivering to the application.
+
+import (
+	"testing"
+
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+)
+
+func TestFloodSurvivesModerateLoss(t *testing.T) {
+	// Full mesh of 8 under 30% random loss: each node can receive a
+	// broadcast over 7 independent paths, so every node still gets it.
+	net, overlays := buildMesh(t, 8, 0, fullMesh)
+	net.SetDropRate(0.3)
+	var got [8]int
+	for i := range overlays {
+		i := i
+		overlays[i].OnEnvelope = func(env *scp.Envelope) { got[i]++ }
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		overlays[0].BroadcastEnvelope(testEnvelope(seq))
+	}
+	net.RunUntilIdle(0)
+	if net.Stats().DroppedLoss == 0 {
+		t.Fatal("no messages dropped; loss never took effect")
+	}
+	for i := 1; i < 8; i++ {
+		if got[i] != 5 {
+			t.Fatalf("node %d delivered %d of 5 broadcasts under loss", i, got[i])
+		}
+	}
+}
+
+func TestTreeLosesMessagesFloodDoesNot(t *testing.T) {
+	// The same loss rate against tree multicast: each member has exactly
+	// one inbound path per broadcast, so loss translates directly into
+	// missed deliveries. This quantifies the redundancy flooding buys.
+	const n, rounds = 13, 10
+	treeNet, treeOverlays, _ := buildTreeMesh(t, n)
+	treeNet.SetDropRate(0.3)
+	treeGot := 0
+	for i := 1; i < n; i++ {
+		treeOverlays[i].OnEnvelope = func(env *scp.Envelope) { treeGot++ }
+	}
+	for seq := uint64(1); seq <= rounds; seq++ {
+		treeOverlays[0].BroadcastEnvelope(testEnvelope(seq))
+	}
+	treeNet.RunUntilIdle(0)
+
+	floodNet, floodOverlays := buildMesh(t, n, 0, fullMesh)
+	floodNet.SetDropRate(0.3)
+	floodGot := 0
+	for i := 1; i < n; i++ {
+		floodOverlays[i].OnEnvelope = func(env *scp.Envelope) { floodGot++ }
+	}
+	for seq := uint64(1); seq <= rounds; seq++ {
+		floodOverlays[0].BroadcastEnvelope(testEnvelope(seq))
+	}
+	floodNet.RunUntilIdle(0)
+
+	want := (n - 1) * rounds
+	if floodGot != want {
+		t.Fatalf("flood delivered %d of %d under loss", floodGot, want)
+	}
+	if treeGot >= want {
+		t.Fatalf("tree delivered %d of %d despite 30%% loss on single paths", treeGot, want)
+	}
+}
+
+func TestAsymmetricLinkLossOnlyAffectsOneDirection(t *testing.T) {
+	net, overlays := buildMesh(t, 2, 0, fullMesh)
+	net.SetLinkDropRate("n0", "n1", 1.0)
+	got := [2]int{}
+	for i := range overlays {
+		i := i
+		overlays[i].OnEnvelope = func(env *scp.Envelope) { got[i]++ }
+	}
+	overlays[0].BroadcastEnvelope(testEnvelope(1)) // n0→n1 is severed
+	overlays[1].BroadcastEnvelope(testEnvelope(2)) // n1→n0 still works
+	net.RunUntilIdle(0)
+	if got[1] != 0 {
+		t.Fatal("message crossed a fully lossy link")
+	}
+	if got[0] != 1 {
+		t.Fatalf("reverse direction delivered %d, want 1", got[0])
+	}
+}
+
+func TestDuplicateInjectionSuppressedOncePerNode(t *testing.T) {
+	// An attacker (or a re-flooding peer) sends the same envelope to every
+	// node repeatedly; each node must deliver it to the application exactly
+	// once and suppress the rest, without re-flooding duplicates.
+	net, overlays := buildMesh(t, 5, 0, fullMesh)
+	var got [5]int
+	for i := range overlays {
+		i := i
+		overlays[i].OnEnvelope = func(env *scp.Envelope) { got[i]++ }
+	}
+	env := testEnvelope(1)
+	p := &Packet{Kind: KindEnvelope, Envelope: env, TTL: DefaultTTL, Origin: "attacker"}
+	net.AddNode("attacker", simnet.HandlerFunc(func(simnet.Addr, any, int) {}))
+	for round := 0; round < 4; round++ {
+		for i := range overlays {
+			net.Send("attacker", simnet.Addr("n"+string(rune('0'+i))), p, p.size())
+		}
+		net.RunUntilIdle(0)
+	}
+	for i := range got {
+		if got[i] != 1 {
+			t.Fatalf("node %d delivered %d times, want exactly 1", i, got[i])
+		}
+	}
+	var suppressed uint64
+	for _, o := range overlays {
+		suppressed += o.DupesSuppessed
+	}
+	if suppressed == 0 {
+		t.Fatal("no duplicates suppressed")
+	}
+}
+
+func TestTreeDedupUnderDuplicateDelivery(t *testing.T) {
+	// Duplicate injection against tree mode: re-broadcasting the same
+	// envelope from its origin must not double-deliver anywhere.
+	net, overlays, _ := buildTreeMesh(t, 9)
+	var total int
+	for i := 1; i < 9; i++ {
+		overlays[i].OnEnvelope = func(env *scp.Envelope) { total++ }
+	}
+	env := testEnvelope(1)
+	overlays[0].BroadcastEnvelope(env)
+	net.RunUntilIdle(0)
+	first := total
+	overlays[0].BroadcastEnvelope(env) // identical payload, same dedup id
+	net.RunUntilIdle(0)
+	if total != first {
+		t.Fatalf("duplicate broadcast delivered %d extra times", total-first)
+	}
+}
+
+func TestFloodRetransmitRepairsLoss(t *testing.T) {
+	// The anti-entropy pattern: if a broadcast is lost on every path (here:
+	// 100% loss during the first attempt), re-broadcasting after the
+	// network heals delivers it. The origin's own dedup cache must not
+	// stop the retransmission.
+	net, overlays := buildMesh(t, 4, 0, fullMesh)
+	got := 0
+	overlays[3].OnEnvelope = func(env *scp.Envelope) { got++ }
+	env := testEnvelope(1)
+	net.SetDropRate(1.0)
+	overlays[0].BroadcastEnvelope(env)
+	net.RunUntilIdle(0)
+	if got != 0 {
+		t.Fatal("delivery through 100% loss")
+	}
+	net.SetDropRate(0)
+	overlays[0].BroadcastEnvelope(env)
+	net.RunUntilIdle(0)
+	if got != 1 {
+		t.Fatalf("retransmission delivered %d times, want 1", got)
+	}
+}

@@ -81,13 +81,22 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Stats accumulates network-wide counters.
+// Stats accumulates network-wide counters. MessagesDropped is the total;
+// the Dropped* fields break it down by cause so fault-injection tests can
+// verify the accounting (a message lost to a partition must show up under
+// DroppedCut, not vanish).
 type Stats struct {
 	MessagesSent      uint64
 	MessagesDelivered uint64
 	MessagesDropped   uint64
 	BytesDelivered    uint64
 	TimersFired       uint64
+
+	// Drop causes; they sum to MessagesDropped.
+	DroppedDown   uint64 // sender or receiver crashed
+	DroppedCut    uint64 // link partitioned (at send or while in flight)
+	DroppedLoss   uint64 // random loss (global or per-link drop rate)
+	DroppedNoDest uint64 // destination never registered
 }
 
 // Network is a simulated network of nodes joined by latency-modelled links.
@@ -99,6 +108,7 @@ type Network struct {
 	nodes    map[Addr]Handler
 	latency  LatencyModel
 	dropRate float64
+	linkDrop map[[2]Addr]float64
 	downed   map[Addr]bool
 	cut      map[[2]Addr]bool
 	stats    Stats
@@ -122,6 +132,7 @@ func New(seed int64) *Network {
 		rng:          rand.New(rand.NewSource(seed)),
 		nodes:        make(map[Addr]Handler),
 		latency:      ConstantLatency(time.Millisecond),
+		linkDrop:     make(map[[2]Addr]float64),
 		downed:       make(map[Addr]bool),
 		cut:          make(map[[2]Addr]bool),
 		perNodeBytes: make(map[Addr]uint64),
@@ -129,11 +140,37 @@ func New(seed int64) *Network {
 	}
 }
 
-// SetLatency installs the latency model for subsequent sends.
+// SetLatency installs the latency model for subsequent sends. Safe to call
+// mid-run (from a fault schedule): messages already in flight keep the
+// delay they were assigned at send time.
 func (n *Network) SetLatency(m LatencyModel) { n.latency = m }
 
+// Latency returns the current latency model, so fault injectors can wrap
+// it for a spike window and restore it afterwards.
+func (n *Network) Latency() LatencyModel { return n.latency }
+
 // SetDropRate sets the probability in [0,1) that any message is lost.
+// Safe to call mid-run; it applies to subsequent sends only.
 func (n *Network) SetDropRate(p float64) { n.dropRate = p }
+
+// DropRate returns the current global loss probability.
+func (n *Network) DropRate() float64 { return n.dropRate }
+
+// SetLinkDropRate sets the loss probability for messages from one node to
+// another; the higher of the global and per-link rate applies. The link is
+// directional, modelling asymmetric degradation (a saturated uplink loses
+// outbound traffic while inbound flows fine). p ≤ 0 clears the link's
+// extra loss.
+func (n *Network) SetLinkDropRate(from, to Addr, p float64) {
+	if p <= 0 {
+		delete(n.linkDrop, [2]Addr{from, to})
+		return
+	}
+	n.linkDrop[[2]Addr{from, to}] = p
+}
+
+// ClearLinkDropRates removes all per-link loss.
+func (n *Network) ClearLinkDropRates() { clear(n.linkDrop) }
 
 // SetProcessingCost installs the per-message receiver CPU cost: messages
 // arriving while a node is busy queue behind the in-progress one. This is
@@ -170,10 +207,30 @@ func (n *Network) SetUp(addr Addr) { delete(n.downed, addr) }
 // IsDown reports whether the node is marked crashed.
 func (n *Network) IsDown(addr Addr) bool { return n.downed[addr] }
 
-// Partition cuts the bidirectional link between a and b.
+// Partition cuts the bidirectional link between a and b. Safe to call
+// mid-run: messages in flight on the link when the cut lands are lost
+// (deliver re-checks the cut), as on a real network.
 func (n *Network) Partition(a, b Addr) {
 	n.cut[[2]Addr{a, b}] = true
 	n.cut[[2]Addr{b, a}] = true
+}
+
+// PartitionGroups cuts every link between nodes of different groups,
+// leaving links within a group intact. Nodes absent from every group keep
+// all their links.
+func (n *Network) PartitionGroups(groups ...[]Addr) {
+	for i, g := range groups {
+		for _, a := range g {
+			for j, h := range groups {
+				if i == j {
+					continue
+				}
+				for _, b := range h {
+					n.cut[[2]Addr{a, b}] = true
+				}
+			}
+		}
+	}
 }
 
 // Heal restores the link between a and b.
@@ -182,16 +239,33 @@ func (n *Network) Heal(a, b Addr) {
 	delete(n.cut, [2]Addr{b, a})
 }
 
+// HealAll restores every partitioned link.
+func (n *Network) HealAll() { clear(n.cut) }
+
+// dropped records one lost message under its cause counter.
+func (n *Network) dropped(cause *uint64) {
+	n.stats.MessagesDropped++
+	*cause++
+}
+
 // Send schedules delivery of msg from one node to another. size should
 // approximate the wire size for bandwidth accounting; pass 0 if unknown.
 func (n *Network) Send(from, to Addr, msg any, size int) {
 	n.stats.MessagesSent++
-	if n.downed[from] || n.downed[to] || n.cut[[2]Addr{from, to}] {
-		n.stats.MessagesDropped++
+	if n.downed[from] || n.downed[to] {
+		n.dropped(&n.stats.DroppedDown)
 		return
 	}
-	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
-		n.stats.MessagesDropped++
+	if n.cut[[2]Addr{from, to}] {
+		n.dropped(&n.stats.DroppedCut)
+		return
+	}
+	loss := n.dropRate
+	if p, ok := n.linkDrop[[2]Addr{from, to}]; ok && p > loss {
+		loss = p
+	}
+	if loss > 0 && n.rng.Float64() < loss {
+		n.dropped(&n.stats.DroppedLoss)
 		return
 	}
 	delay := n.latency(from, to, n.rng)
@@ -206,12 +280,17 @@ func (n *Network) Send(from, to Addr, msg any, size int) {
 // busy server when a processing cost is configured.
 func (n *Network) deliver(from, to Addr, msg any, size int) {
 	if n.downed[to] {
-		n.stats.MessagesDropped++
+		n.dropped(&n.stats.DroppedDown)
+		return
+	}
+	if n.cut[[2]Addr{from, to}] {
+		// The link was cut after the message left: in flight, now lost.
+		n.dropped(&n.stats.DroppedCut)
 		return
 	}
 	h, ok := n.nodes[to]
 	if !ok {
-		n.stats.MessagesDropped++
+		n.dropped(&n.stats.DroppedNoDest)
 		return
 	}
 	if n.procCost > 0 {

@@ -158,6 +158,147 @@ func TestPartitionAndHeal(t *testing.T) {
 	}
 }
 
+func TestPartitionMidRunDropsInFlight(t *testing.T) {
+	// A fault schedule cuts the link while a message is in flight: the
+	// message must be lost, and accounted as a cut drop.
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetLatency(ConstantLatency(10 * time.Millisecond))
+	n.Send("a", "b", "in-flight", 1)
+	n.RunUntil(2 * time.Millisecond)
+	n.Partition("a", "b")
+	n.RunUntilIdle(0)
+	if len(r.msgs) != 0 {
+		t.Fatal("in-flight message crossed a partition")
+	}
+	if st := n.Stats(); st.DroppedCut != 1 {
+		t.Fatalf("cut drop not accounted: %+v", st)
+	}
+}
+
+func TestPartitionThenHealAccounting(t *testing.T) {
+	// Every message sent must be accounted exactly once: delivered, or
+	// dropped under its cause. Exercise the full partition lifecycle.
+	n := New(1)
+	r := &recorder{}
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", r)
+	n.SetLatency(ConstantLatency(time.Millisecond))
+
+	// Phase 1: healthy traffic.
+	for i := 0; i < 5; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+
+	// Phase 2: partitioned traffic is dropped at send time.
+	n.Partition("a", "b")
+	for i := 0; i < 7; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+
+	// Phase 3: heal mid-run; traffic flows again.
+	n.Heal("a", "b")
+	for i := 0; i < 3; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+
+	st := n.Stats()
+	if len(r.msgs) != 8 {
+		t.Fatalf("delivered %d messages, want 8", len(r.msgs))
+	}
+	if st.MessagesSent != 15 || st.MessagesDelivered != 8 || st.DroppedCut != 7 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	if st.MessagesDelivered+st.MessagesDropped != st.MessagesSent {
+		t.Fatalf("counters do not sum: %+v", st)
+	}
+	if st.DroppedDown+st.DroppedCut+st.DroppedLoss+st.DroppedNoDest != st.MessagesDropped {
+		t.Fatalf("drop causes do not sum: %+v", st)
+	}
+}
+
+func TestPartitionGroupsAndHealAll(t *testing.T) {
+	n := New(1)
+	var got []string
+	for _, a := range []Addr{"a", "b", "c", "d"} {
+		a := a
+		n.AddNode(a, HandlerFunc(func(from Addr, msg any, _ int) {
+			got = append(got, string(from)+string(a))
+		}))
+	}
+	n.PartitionGroups([]Addr{"a", "b"}, []Addr{"c", "d"})
+	n.Send("a", "b", 1, 0) // within group: flows
+	n.Send("a", "c", 1, 0) // across: cut
+	n.Send("d", "a", 1, 0) // across, other direction: cut
+	n.Send("c", "d", 1, 0) // within group: flows
+	n.RunUntilIdle(0)
+	if len(got) != 2 || got[0] != "ab" || got[1] != "cd" {
+		t.Fatalf("partitioned deliveries = %v", got)
+	}
+	if st := n.Stats(); st.DroppedCut != 2 {
+		t.Fatalf("cut drops = %d, want 2", st.DroppedCut)
+	}
+	n.HealAll()
+	n.Send("a", "c", 1, 0)
+	n.RunUntilIdle(0)
+	if len(got) != 3 || got[2] != "ac" {
+		t.Fatalf("healed delivery missing: %v", got)
+	}
+}
+
+func TestLinkDropRateAsymmetric(t *testing.T) {
+	n := New(9)
+	fwd, rev := 0, 0
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) { rev++ }))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) { fwd++ }))
+	n.SetLinkDropRate("a", "b", 0.5)
+	for i := 0; i < 1000; i++ {
+		n.Send("a", "b", i, 1)
+		n.Send("b", "a", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if rev != 1000 {
+		t.Fatalf("reverse direction lost messages: %d of 1000", rev)
+	}
+	if fwd < 400 || fwd > 600 {
+		t.Fatalf("with 50%% link loss, delivered %d of 1000", fwd)
+	}
+	if st := n.Stats(); st.DroppedLoss != uint64(1000-fwd) {
+		t.Fatalf("loss accounting: %+v", st)
+	}
+	// Clearing restores the link.
+	n.SetLinkDropRate("a", "b", 0)
+	before := fwd
+	for i := 0; i < 100; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if fwd != before+100 {
+		t.Fatalf("cleared link still lossy: %d new deliveries", fwd-before)
+	}
+}
+
+func TestLinkDropRateTakesMaxWithGlobal(t *testing.T) {
+	n := New(11)
+	got := 0
+	n.AddNode("a", HandlerFunc(func(Addr, any, int) {}))
+	n.AddNode("b", HandlerFunc(func(Addr, any, int) { got++ }))
+	n.SetDropRate(0.9)
+	n.SetLinkDropRate("a", "b", 0.1) // global is worse; it wins
+	for i := 0; i < 1000; i++ {
+		n.Send("a", "b", i, 1)
+	}
+	n.RunUntilIdle(0)
+	if got > 200 {
+		t.Fatalf("per-link rate overrode a worse global rate: %d delivered", got)
+	}
+}
+
 func TestDropRate(t *testing.T) {
 	n := New(7)
 	var got int
