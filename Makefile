@@ -4,7 +4,10 @@ GO ?= go
 # the nightly CI job); unset, the tests run their small default sweeps.
 CHAOS_SEEDS ?=
 
-.PHONY: all build test race vet fmt check bench bench-smoke chaos soak
+# FUZZTIME is how long each native fuzz target runs under `make fuzz`.
+FUZZTIME ?= 30s
+
+.PHONY: all build test race vet fmt check bench bench-smoke fuzz chaos soak
 
 all: check
 
@@ -31,12 +34,19 @@ fmt:
 check: fmt vet race
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline' -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -count 3 .
 
 # bench-smoke runs each benchmark once — a fast regression tripwire for CI,
 # not a measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -benchtime 1x .
+
+# fuzz runs each native fuzz target for FUZZTIME. Go permits only one
+# -fuzz pattern per invocation, hence one run per target.
+fuzz:
+	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzTxDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzQuorumSetDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ledger/ -run '^$$' -fuzz '^FuzzCheckSignatures$$' -fuzztime $(FUZZTIME)
 
 # chaos runs the fault-injection acceptance scenarios (partition +
 # Byzantine equivocators + heal across 20 seeds, plus the soak sweep).

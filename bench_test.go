@@ -8,6 +8,7 @@ package stellar
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"stellar/internal/quorum"
 	"stellar/internal/scp"
 	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
 )
 
 func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -252,6 +254,139 @@ func BenchmarkLedgerApplyPayment(b *testing.B) {
 		if res := st.ApplyTransaction(txs[i], networkID, env); !res.Success {
 			b.Fatal(res.Err)
 		}
+	}
+}
+
+// BenchmarkVerifyTxSet measures applying a 256-transaction set three
+// ways: without a verifier (direct ed25519 per check, the retained
+// sequential reference), with a cold per-iteration verifier (parallel
+// prepass pays for the cache fills), and with a warm persistent verifier
+// (steady state: nomination already verified every transaction, so apply
+// is all cache hits). All variants must produce identical results
+// hashes — the equivalence the pipeline property test proves per-seed.
+func BenchmarkVerifyTxSet(b *testing.B) {
+	networkID := stellarcrypto.HashBytes([]byte("bench-verify"))
+	masterKP := stellarcrypto.KeyPairFromString("bench-verify-master")
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	st0 := ledger.NewGenesisState(master)
+
+	const nAccounts, txPerAccount = 64, 4
+	kps := stellarcrypto.DeterministicKeyPairs("bench-verify-acct", nAccounts)
+	setup := &ledger.Transaction{Source: master, SeqNum: 1}
+	for _, kp := range kps {
+		setup.Operations = append(setup.Operations, ledger.Operation{
+			Body: &ledger.CreateAccount{
+				Destination:     ledger.AccountIDFromPublicKey(kp.Public),
+				StartingBalance: 1000 * ledger.One,
+			},
+		})
+	}
+	setup.Fee = st0.MinFee(setup)
+	setup.Sign(networkID, masterKP)
+	env := &ledger.ApplyEnv{LedgerSeq: 2, CloseTime: 1}
+	if res := st0.ApplyTransaction(setup, networkID, env); !res.Success {
+		b.Fatal(res.Err)
+	}
+	snapshot := st0.SnapshotAll()
+
+	ts := &ledger.TxSet{}
+	seqBase := uint64(env.LedgerSeq) << 32
+	for i, kp := range kps {
+		src := ledger.AccountIDFromPublicKey(kp.Public)
+		dst := ledger.AccountIDFromPublicKey(kps[(i+1)%nAccounts].Public)
+		for j := 0; j < txPerAccount; j++ {
+			tx := &ledger.Transaction{
+				Source: src, Fee: ledger.DefaultBaseFee, SeqNum: seqBase + uint64(j) + 1,
+				Operations: []ledger.Operation{{
+					Body: &ledger.Payment{Destination: dst, Asset: ledger.NativeAsset(), Amount: 1},
+				}},
+			}
+			tx.Sign(networkID, kp)
+			ts.Txs = append(ts.Txs, tx)
+		}
+	}
+
+	var refHash stellarcrypto.Hash
+	iter := func(b *testing.B, v *verify.Verifier) {
+		b.StopTimer()
+		st, err := ledger.RestoreState(snapshot, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v != nil {
+			st.SetVerifier(v)
+		}
+		b.StartTimer()
+		results, rh := st.ApplyTxSet(ts, networkID, &ledger.ApplyEnv{LedgerSeq: 3, CloseTime: 2})
+		b.StopTimer()
+		for _, r := range results {
+			if !r.Success {
+				b.Fatal(r.Err)
+			}
+		}
+		if refHash == (stellarcrypto.Hash{}) {
+			refHash = rh
+		} else if rh != refHash {
+			b.Fatalf("results hash diverged: %x != %x", rh, refHash)
+		}
+		b.StartTimer()
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			iter(b, nil)
+		}
+	})
+	b.Run("parallel-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			iter(b, verify.New(0, 1<<16))
+		}
+	})
+	b.Run("cached-warm", func(b *testing.B) {
+		v := verify.New(0, 1<<16)
+		// Warm the cache the way nomination does before apply ever runs.
+		iter(b, v)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			iter(b, v)
+		}
+		s := v.Cache.Stats()
+		b.ReportMetric(100*s.HitRate(), "hit-%")
+	})
+}
+
+// BenchmarkBucketRehash measures bucket-list ingestion across 128
+// ledgers — including the level merges and rehashes on spills — with the
+// merge work sequential (workers=1) versus fanned out across cores.
+func BenchmarkBucketRehash(b *testing.B) {
+	const ledgers, perLedger = 128, 200
+	batches := make([][]bucket.Entry, ledgers)
+	for i := range batches {
+		for j := 0; j < perLedger; j++ {
+			batches[i] = append(batches[i], bucket.Entry{
+				Key:  fmt.Sprintf("a|acct%08d", (i*perLedger+j*17)%3000),
+				Data: []byte(fmt.Sprintf("balance-%d-%d", i, j)),
+			})
+		}
+	}
+	var refHash stellarcrypto.Hash
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := bucket.NewList()
+				l.SetPool(verify.NewPool(workers))
+				for seq := uint32(1); seq <= ledgers; seq++ {
+					l.AddBatch(seq, batches[seq-1])
+				}
+				b.StopTimer()
+				if h := l.Hash(); refHash == (stellarcrypto.Hash{}) {
+					refHash = h
+				} else if h != refHash {
+					b.Fatalf("bucket hash diverged across worker counts")
+				}
+				b.StartTimer()
+			}
+		})
 	}
 }
 

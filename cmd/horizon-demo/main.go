@@ -37,6 +37,8 @@ import (
 func main() {
 	listen := flag.String("listen", ":8000", "HTTP listen address")
 	interval := flag.Duration("interval", 5*time.Second, "ledger interval")
+	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
+	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "structured node logging to stderr")
 	flag.Parse()
 
@@ -50,11 +52,13 @@ func main() {
 	kp := stellarcrypto.KeyPairFromString("demo-validator")
 	self := fba.NodeIDFromPublicKey(kp.Public)
 	node, err := herder.New(net, herder.Config{
-		Keys:           kp,
-		QSet:           fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
-		NetworkID:      networkID,
-		LedgerInterval: *interval,
-		Obs:            ob,
+		Keys:            kp,
+		QSet:            fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
+		NetworkID:       networkID,
+		LedgerInterval:  *interval,
+		VerifyWorkers:   *verifyWorkers,
+		VerifyCacheSize: *verifyCache,
+		Obs:             ob,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)

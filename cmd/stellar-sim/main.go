@@ -28,17 +28,21 @@ func main() {
 	dropRate := flag.Float64("drop", 0, "message drop probability [0,1)")
 	seed := flag.Int64("seed", 42, "deterministic simulation seed")
 	archive := flag.String("archive", "", "directory for a history archive (optional)")
+	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
+	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "structured per-node logging to stderr")
 	flag.Parse()
 
 	opts := experiments.Options{
-		Validators:     *validators,
-		Accounts:       *accounts,
-		TxRate:         *rate,
-		LedgerInterval: *interval,
-		DropRate:       *dropRate,
-		Seed:           *seed,
-		ArchiveDir:     *archive,
+		Validators:      *validators,
+		Accounts:        *accounts,
+		TxRate:          *rate,
+		LedgerInterval:  *interval,
+		DropRate:        *dropRate,
+		Seed:            *seed,
+		ArchiveDir:      *archive,
+		VerifyWorkers:   *verifyWorkers,
+		VerifyCacheSize: *verifyCache,
 	}
 	if *verbose {
 		root := obs.NewLogger(os.Stderr, slog.LevelDebug)
@@ -91,5 +95,9 @@ func main() {
 	fmt.Printf("  ledger update:  mean %v  p99 %v\n", m.LedgerUpdate.Mean(), m.LedgerUpdate.Percentile(99))
 	fmt.Printf("  tx per ledger:  mean %.1f  max %d\n", m.TxPerLedger.Mean(), m.TxPerLedger.Max())
 	fmt.Printf("  msgs per ledger per validator: mean %.1f\n", m.MessagesEmitted.Mean())
+	vs := node.Verifier().Cache.Stats()
+	ps := node.Verifier().Pool.Stats()
+	fmt.Printf("  verify cache (validator 0): hits %d  misses %d  hit rate %.1f%%  (%d workers)\n",
+		vs.Hits, vs.Misses, 100*vs.HitRate(), ps.Workers)
 	fmt.Printf("  agreement: all %d validators consistent at every ledger\n", len(s.Nodes))
 }

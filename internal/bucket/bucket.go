@@ -16,6 +16,7 @@ import (
 
 	"stellar/internal/ledger"
 	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
 	"stellar/internal/xdr"
 )
 
@@ -134,6 +135,11 @@ type level struct {
 type List struct {
 	levels [NumLevels]level
 	hash   stellarcrypto.Hash
+
+	// pool, when set, runs a close's independent spill merges (and their
+	// SHA-256 rehashes) concurrently. The resulting buckets and list hash
+	// are identical either way; only wall-clock time changes.
+	pool *verify.Pool
 }
 
 // NewList creates an empty bucket list.
@@ -155,21 +161,72 @@ func half(i int) uint32 {
 	return h
 }
 
+// SetPool attaches a worker pool for parallel spill merges; nil restores
+// the sequential path.
+func (l *List) SetPool(p *verify.Pool) { l.pool = p }
+
 // AddBatch ingests the entries changed by ledger ledgerSeq, spilling
 // levels whose period has elapsed, and recomputes the cumulative hash.
+//
+// The sequential formulation spills from the deepest level upward, each
+// spill merging level i's snap onto level i+1's curr. Those merges are
+// in fact independent: half(i) divides half(i+1), so the spilling levels
+// form a contiguous prefix 0..k, and when level i spills into a level
+// i+1 that itself spills, the sequential loop (descending i) has already
+// emptied level i+1's curr — so each merge's inputs are the ORIGINAL
+// snap of level i plus either the original curr of level i+1 or the
+// empty bucket. No merge reads another merge's output. AddBatch exploits
+// that: it captures every job's inputs up front, runs the jobs (on the
+// pool when attached), then installs results exactly as the sequential
+// loop would. Buckets are immutable once built, so sharing them across
+// jobs is safe.
 func (l *List) AddBatch(ledgerSeq uint32, changed []Entry) {
-	// Spill from the deepest level upward so a batch moves at most one
-	// level per close.
+	var spills [NumLevels]bool
+	for i := 0; i <= NumLevels-2; i++ {
+		spills[i] = ledgerSeq%half(i) == 0
+	}
+
+	merged := make([]*Bucket, NumLevels) // merged[i]: result of level i's spill
+	var ingested *Bucket                 // level-0 ingest of the changed entries
+	var jobs []func()
 	for i := NumLevels - 2; i >= 0; i-- {
-		if ledgerSeq%half(i) != 0 {
+		if !spills[i] {
 			continue
 		}
+		i := i
+		newer := l.levels[i].snap
+		older := l.levels[i+1].curr
+		if spills[i+1] {
+			older = emptyBucket
+		}
 		keepTombstones := i+1 < NumLevels-1
-		l.levels[i+1].curr = Merge(l.levels[i].snap, l.levels[i+1].curr, keepTombstones)
+		jobs = append(jobs, func() { merged[i] = Merge(newer, older, keepTombstones) })
+	}
+	{
+		older := l.levels[0].curr
+		if spills[0] {
+			older = emptyBucket
+		}
+		jobs = append(jobs, func() { ingested = Merge(NewBucket(changed), older, true) })
+	}
+	if l.pool != nil && l.pool.Workers() > 1 && len(jobs) > 1 {
+		l.pool.Run(len(jobs), func(i int) { jobs[i]() })
+	} else {
+		for _, job := range jobs {
+			job()
+		}
+	}
+
+	// Install phase: the structural rotation of the sequential loop.
+	for i := NumLevels - 2; i >= 0; i-- {
+		if !spills[i] {
+			continue
+		}
+		l.levels[i+1].curr = merged[i]
 		l.levels[i].snap = l.levels[i].curr
 		l.levels[i].curr = emptyBucket
 	}
-	l.levels[0].curr = Merge(NewBucket(changed), l.levels[0].curr, true)
+	l.levels[0].curr = ingested
 	l.rehash()
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"stellar/internal/verify"
 )
 
 func e(key, val string) Entry {
@@ -308,5 +310,44 @@ func TestPropertyListMatchesMap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAddBatchParallelMatchesSequential(t *testing.T) {
+	// The pooled spill path must produce byte-identical buckets and list
+	// hash at every step of a long, spill-heavy history.
+	seqList := NewList()
+	parList := NewList()
+	parList.SetPool(verify.NewPool(4))
+	for seq := uint32(1); seq <= 300; seq++ {
+		var batch []Entry
+		for k := 0; k < 5; k++ {
+			key := fmt.Sprintf("k%03d", (int(seq)*7+k*13)%97)
+			if (int(seq)+k)%11 == 0 {
+				batch = append(batch, e(key, "")) // tombstone
+			} else {
+				batch = append(batch, e(key, fmt.Sprintf("v%d-%d", seq, k)))
+			}
+		}
+		seqList.AddBatch(seq, batch)
+		parList.AddBatch(seq, batch)
+		if seqList.Hash() != parList.Hash() {
+			t.Fatalf("seq %d: parallel list hash diverged", seq)
+		}
+	}
+	sh, ph := seqList.BucketHashes(), parList.BucketHashes()
+	for i := range sh {
+		if sh[i] != ph[i] {
+			t.Fatalf("bucket %d hash diverged", i)
+		}
+	}
+	sl, pl := seqList.AllLive(), parList.AllLive()
+	if len(sl) != len(pl) {
+		t.Fatalf("live sets differ: %d vs %d", len(sl), len(pl))
+	}
+	for i := range sl {
+		if sl[i].Key != pl[i].Key || string(sl[i].Data) != string(pl[i].Data) {
+			t.Fatalf("live entry %d differs", i)
+		}
 	}
 }

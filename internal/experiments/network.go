@@ -57,6 +57,12 @@ type Options struct {
 	BallotTimeout     func(counter uint32) time.Duration
 	// OverlayCacheSize tunes flood dedup (ablation).
 	OverlayCacheSize int
+	// VerifyWorkers sizes each validator's signature-verification pool
+	// (0 = NumCPU, 1 = sequential).
+	VerifyWorkers int
+	// VerifyCacheSize bounds each validator's verification cache
+	// (0 = verify.DefaultCacheSize).
+	VerifyCacheSize int
 	// MaxTxSetSize caps operations per ledger (default 5000, comfortably
 	// above the paper's 350 tx/s × 5 s so no transactions are dropped).
 	MaxTxSetSize int
@@ -185,6 +191,8 @@ func Build(opts Options) (*SimNetwork, error) {
 			NominationTimeout: opts.NominationTimeout,
 			BallotTimeout:     opts.BallotTimeout,
 			OverlayCacheSize:  opts.OverlayCacheSize,
+			VerifyWorkers:     opts.VerifyWorkers,
+			VerifyCacheSize:   opts.VerifyCacheSize,
 			MaxTxSetSize:      opts.MaxTxSetSize,
 			Multicast:         opts.Multicast,
 		}

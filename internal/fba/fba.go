@@ -383,9 +383,18 @@ func (q *QuorumSet) EncodeXDR(e *xdr.Encoder) {
 	}
 }
 
-// DecodeQuorumSetXDR reads a quorum set written by EncodeXDR.
+// DecodeQuorumSetXDR reads a quorum set written by EncodeXDR. Nesting is
+// bounded by the same maxQuorumSetDepth that Validate enforces, so
+// hostile inputs cannot drive unbounded recursion.
 func DecodeQuorumSetXDR(d *xdr.Decoder) (QuorumSet, error) {
+	return decodeQuorumSetXDR(d, 0)
+}
+
+func decodeQuorumSetXDR(d *xdr.Decoder, depth int) (QuorumSet, error) {
 	var q QuorumSet
+	if depth > maxQuorumSetDepth {
+		return q, fmt.Errorf("fba: quorum set nesting exceeds %d levels", maxQuorumSetDepth)
+	}
 	t, err := d.Uint32()
 	if err != nil {
 		return q, err
@@ -413,7 +422,7 @@ func DecodeQuorumSetXDR(d *xdr.Decoder) (QuorumSet, error) {
 		return q, fmt.Errorf("fba: quorum set with %d inner sets", ni)
 	}
 	for i := uint32(0); i < ni; i++ {
-		in, err := DecodeQuorumSetXDR(d)
+		in, err := decodeQuorumSetXDR(d, depth+1)
 		if err != nil {
 			return q, err
 		}

@@ -114,13 +114,16 @@ func (d *driver) SignEnvelope(env *scp.Envelope) {
 }
 
 // VerifyEnvelope checks the sender's signature; the node ID is the public
-// key address, so no registry is needed.
+// key address, so no registry is needed. Verification goes through the
+// node's cache: SCP re-delivers the same envelope along multiple flood
+// paths and re-examines statements across rounds, so repeats are common
+// and the cache collapses each replay to a hash lookup.
 func (d *driver) VerifyEnvelope(env *scp.Envelope) bool {
 	pk, err := envelopeKey(env)
 	if err != nil {
 		return false
 	}
-	return pk.Verify(env.SigningPayload(), env.Signature)
+	return d.node().verifier.Verify(pk, env.SigningPayload(), env.Signature)
 }
 
 // SetTimer (re)arms a per-slot timer on the simulated clock.

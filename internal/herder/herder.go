@@ -17,6 +17,7 @@ import (
 	"stellar/internal/scp"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
 )
 
 // Config parameterizes a validator node.
@@ -46,6 +47,13 @@ type Config struct {
 	DesiredUpgrades []Upgrade
 	// OverlayCacheSize tunes flood dedup (0 = default).
 	OverlayCacheSize int
+	// VerifyWorkers sizes the signature-verification worker pool shared
+	// by the ledger apply prepass and bucket spill merges (0 = NumCPU,
+	// 1 = sequential).
+	VerifyWorkers int
+	// VerifyCacheSize bounds the signature-verification LRU cache
+	// (0 = verify.DefaultCacheSize).
+	VerifyCacheSize int
 	// Multicast selects the §7.5 structured-multicast extension instead
 	// of flooding; requires SetMembers on the overlay after wiring.
 	Multicast bool
@@ -67,8 +75,12 @@ type Node struct {
 
 	state   *ledger.State
 	buckets *bucket.List
-	headers map[uint32]stellarcrypto.Hash // seq → header hash (skiplist source)
-	last    *ledger.Header
+	// verifier is the node's verification pipeline: one cache shared by
+	// overlay envelope checks, nomination-time CheckValid, and apply, so
+	// a signature verified once is free everywhere after.
+	verifier *verify.Verifier
+	headers  map[uint32]stellarcrypto.Hash // seq → header hash (skiplist source)
+	last     *ledger.Header
 
 	pending map[stellarcrypto.Hash]*ledger.Transaction
 	txsets  map[stellarcrypto.Hash]*ledger.TxSet
@@ -149,6 +161,8 @@ func New(net *simnet.Network, cfg Config) (*Node, error) {
 		slotStats:    make(map[uint64]*slotStat),
 		upgradeStats: make(map[UpgradeKind]int64),
 	}
+	n.verifier = verify.New(cfg.VerifyWorkers, cfg.VerifyCacheSize)
+	n.verifier.SetObs(ob.Reg)
 	n.ov = overlay.New(net, n.addr, cfg.NetworkID, cfg.OverlayCacheSize)
 	n.ov.SetObs(ob.Reg, obs.Component(ob.Log, "overlay"))
 	if cfg.Multicast {
@@ -191,12 +205,17 @@ func (n *Node) HeaderHash(seq uint32) (stellarcrypto.Hash, bool) {
 // SCP exposes the consensus node for analysis (quorum sets, slots).
 func (n *Node) SCP() *scp.Node { return n.scp }
 
+// Verifier exposes the node's verification pipeline (cache statistics).
+func (n *Node) Verifier() *verify.Verifier { return n.verifier }
+
 // Bootstrap installs a genesis ledger built from the given state. All
 // validators of a network must bootstrap from identical genesis state.
 func (n *Node) Bootstrap(genesis *ledger.State, closeTime int64) {
 	n.state = genesis
 	n.state.SetObs(n.obs.Reg)
+	n.state.SetVerifier(n.verifier)
 	n.buckets = bucket.NewList()
+	n.buckets.SetPool(n.verifier.Pool)
 	n.buckets.AddBatch(1, genesis.SnapshotAll())
 	genesis.TakeDirtySnapshot() // genesis entries are already in the list
 	hdr := ledger.GenesisHeader(genesis, closeTime)
@@ -586,7 +605,9 @@ func (n *Node) CatchUp(a *history.Archive) error {
 	}
 	n.state = state
 	n.state.SetObs(n.obs.Reg)
+	n.state.SetVerifier(n.verifier)
 	n.buckets = buckets
+	n.buckets.SetPool(n.verifier.Pool)
 	n.last = hdr
 	n.headers[hdr.LedgerSeq] = hdr.Hash()
 	n.nextSlot = uint64(hdr.LedgerSeq) + 1

@@ -1,0 +1,81 @@
+package herder
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// TestVerifyEnvelopeReplayHitsCache asserts the satellite fix: repeated
+// verification of the same envelope (flood duplicates, replays) goes
+// through the shared verification cache, so the second check is a hash
+// lookup rather than an ed25519 verification.
+func TestVerifyEnvelopeReplayHitsCache(t *testing.T) {
+	net := simnet.New(1)
+	nid := stellarcrypto.HashBytes([]byte("verify-envelope-test"))
+	kp := stellarcrypto.KeyPairFromString("verify-envelope-validator")
+	self := fba.NodeIDFromPublicKey(kp.Public)
+	node, err := New(net, Config{
+		Keys:           kp,
+		QSet:           fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
+		NetworkID:      nid,
+		LedgerInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peer := stellarcrypto.KeyPairFromString("verify-envelope-peer")
+	peerID := fba.NodeIDFromPublicKey(peer.Public)
+	env := &scp.Envelope{
+		Node: peerID,
+		Slot: 2,
+		Seq:  1,
+		QSet: fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{peerID}},
+		Statement: scp.Statement{
+			Type:  scp.StmtNominate,
+			Votes: []scp.Value{scp.Value("v")},
+		},
+	}
+	env.Signature = peer.Secret.Sign(env.SigningPayload())
+
+	d := (*driver)(node)
+	if !d.VerifyEnvelope(env) {
+		t.Fatal("valid envelope rejected")
+	}
+	before := node.Verifier().Cache.Stats()
+	if before.Misses == 0 {
+		t.Fatal("first verification did not populate the cache")
+	}
+	// The replayed envelope must be served from the cache.
+	if !d.VerifyEnvelope(env) {
+		t.Fatal("replayed envelope rejected")
+	}
+	after := node.Verifier().Cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("replay did not hit the cache: hits %d -> %d", before.Hits, after.Hits)
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("replay re-verified: misses %d -> %d", before.Misses, after.Misses)
+	}
+
+	// A tampered replay must still be rejected — and its (new) verdict is
+	// itself cached, negative verdicts included.
+	bad := *env
+	bad.Signature = append([]byte(nil), env.Signature...)
+	bad.Signature[0] ^= 0xff
+	if d.VerifyEnvelope(&bad) {
+		t.Fatal("tampered envelope accepted")
+	}
+	if d.VerifyEnvelope(&bad) {
+		t.Fatal("tampered envelope accepted on replay")
+	}
+	final := node.Verifier().Cache.Stats()
+	if final.Misses != after.Misses+1 || final.Hits != after.Hits+1 {
+		t.Fatalf("negative verdict not cached: %+v -> %+v", after, final)
+	}
+}

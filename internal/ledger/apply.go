@@ -178,16 +178,45 @@ func (ts *TxSet) SortForApply(networkID stellarcrypto.Hash) []*Transaction {
 	return out
 }
 
+// VerifyTxSetSignatures fans the signature checks of txs across the
+// attached verifier's pool, warming the cache so the sequential apply
+// step finds every verdict memoized. It is a pure prepass: it touches no
+// ledger state (checkSignatures only reads account entries, and nothing
+// mutates the state while the pool runs), so it cannot change any
+// transaction's outcome — a tx whose signing requirements depend on an
+// earlier tx in the set (say, a SetOptions changing signers) is still
+// decided by the sequential re-check against then-current state; only
+// the raw (key, msg, sig) verdicts are reused. No-op without a verifier
+// or without parallelism to exploit.
+func (st *State) VerifyTxSetSignatures(txs []*Transaction, networkID stellarcrypto.Hash) {
+	v := st.verifier
+	if v == nil || v.Pool.Workers() <= 1 || len(txs) < 2 {
+		return
+	}
+	v.Pool.Run(len(txs), func(i int) {
+		_ = txs[i].checkSignatures(st, networkID)
+	})
+}
+
 // ApplyTxSet executes a whole transaction set, returning per-transaction
-// results and the results hash for the header.
+// results and the results hash for the header. When a verifier is
+// attached, signature verification fans out across the pool first; the
+// apply loop itself is always sequential and deterministic.
 func (st *State) ApplyTxSet(ts *TxSet, networkID stellarcrypto.Hash, env *ApplyEnv) ([]TxResult, stellarcrypto.Hash) {
 	start := time.Now()
 	txs := ts.SortForApply(networkID)
+	st.VerifyTxSetSignatures(txs, networkID)
 	results := make([]TxResult, 0, len(txs))
 	for _, tx := range txs {
 		results = append(results, st.ApplyTransaction(tx, networkID, env))
 	}
 	st.observeApply(start, results)
+	if st.verifier != nil {
+		// Fold cache/pool deltas into the metric registry once per
+		// ledger, whether or not the parallel prepass ran (a 1-worker
+		// node still verifies through the cache).
+		st.verifier.FlushObs()
+	}
 	e := xdr.NewEncoder(64 * len(results))
 	for i := range results {
 		results[i].EncodeXDR(e)

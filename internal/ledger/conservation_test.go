@@ -106,6 +106,136 @@ func indexOf(assets []Asset, a Asset) int {
 	return 0
 }
 
+// TestRandomizedMultiOpConservation extends the conservation fuzz to
+// multi-operation transactions: each step applies one atomic transaction
+// of 1–4 random operations (XLM and issued-asset payments, offers, path
+// payments), some deliberately doomed by an overdraft in a late
+// operation. Invariants: lumens are conserved modulo fees (which move to
+// the fee pool), issued assets are conserved among non-issuer holders,
+// and a failed transaction changes nothing but the source's fee and
+// sequence number — even when earlier operations in it had succeeded.
+func TestRandomizedMultiOpConservation(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 101))
+			m := newMarket(t)
+			traders := []AccountID{m.mm, m.taker}
+			assets := []Asset{m.usd, m.eur}
+
+			totalIssued := func(asset Asset) Amount {
+				var sum Amount
+				for _, acct := range traders {
+					sum += m.st.BalanceOf(acct, asset)
+				}
+				return sum
+			}
+			totalXLM := func() Amount {
+				var sum Amount
+				for _, id := range m.st.AccountIDs() {
+					sum += m.st.Account(id).Balance
+				}
+				return sum + m.st.FeePool
+			}
+
+			usdBefore, eurBefore := totalIssued(m.usd), totalIssued(m.eur)
+			xlmBefore := totalXLM()
+			failures := 0
+
+			randomOp := func(src AccountID) Operation {
+				dst := traders[rng.Intn(len(traders))]
+				if dst == src {
+					dst = m.issuer // issued-asset payments back to the issuer burn; XLM ones are ordinary
+				}
+				switch rng.Intn(4) {
+				case 0: // XLM payment: exercises the fee-pool part of conservation
+					return Operation{Body: &Payment{
+						Destination: dst, Asset: NativeAsset(),
+						Amount: Amount(rng.Intn(5)+1) * One,
+					}}
+				case 1: // issued-asset payment
+					return Operation{Body: &Payment{
+						Destination: dst, Asset: assets[rng.Intn(len(assets))],
+						Amount: Amount(rng.Intn(5) + 1),
+					}}
+				case 2: // offer (may cross standing offers from earlier steps)
+					i := rng.Intn(len(assets))
+					return Operation{Body: &ManageOffer{
+						Selling: assets[i], Buying: assets[1-i],
+						Amount: Amount(rng.Intn(10)+1) * One,
+						Price:  MustPrice(int32(rng.Intn(4)+1), int32(rng.Intn(4)+1)),
+					}}
+				default: // path payment (often fails on thin books; fine)
+					return Operation{Body: &PathPayment{
+						SendAsset: assets[rng.Intn(len(assets))], SendMax: 50 * One,
+						Destination: dst, DestAsset: assets[rng.Intn(len(assets))],
+						DestAmount: Amount(rng.Intn(2) + 1),
+					}}
+				}
+			}
+
+			for step := 0; step < 50; step++ {
+				src := traders[rng.Intn(len(traders))]
+				ops := make([]Operation, 0, 5)
+				for i := 1 + rng.Intn(4); i > 0; i-- {
+					ops = append(ops, randomOp(src))
+				}
+				doomed := rng.Intn(3) == 0
+				if doomed {
+					// An overdraft after the legitimate operations forces
+					// a rollback of everything they did.
+					ops = append(ops, Operation{Body: &Payment{
+						Destination: m.issuer, Asset: NativeAsset(), Amount: MaxAmount / 2,
+					}})
+				}
+
+				snapBefore := m.st.SnapshotAll()
+				res := m.tx(src, ops...)
+				if doomed && res.Success {
+					t.Fatalf("step %d: doomed tx succeeded", step)
+				}
+				if !res.Success {
+					failures++
+					snapAfter := m.st.SnapshotAll()
+					for i := range snapBefore {
+						if snapBefore[i].Key != snapAfter[i].Key {
+							t.Fatalf("step %d: entry set changed across failed tx", step)
+						}
+						if string(snapBefore[i].Data) != string(snapAfter[i].Data) &&
+							snapBefore[i].Key != accountKey(src) {
+							t.Fatalf("step %d: failed tx leaked into %s", step, snapBefore[i].Key)
+						}
+					}
+				}
+			}
+			if failures == 0 {
+				t.Fatal("no transaction failed; rollback path untested")
+			}
+
+			// Cancel standing offers so trustline balances reflect
+			// everything, then check conservation. Payments back to the
+			// issuer burn, so issued totals may only shrink.
+			for _, acct := range traders {
+				for _, o := range m.st.OffersOf(acct) {
+					m.mustOK(m.tx(acct, Operation{Body: &ManageOffer{
+						OfferID: o.ID, Selling: o.Selling, Buying: o.Buying,
+						Amount: 0, Price: o.Price,
+					}}))
+				}
+			}
+			if got := totalIssued(m.usd); got > usdBefore {
+				t.Fatalf("USD created from nothing: %s → %s", FormatAmount(usdBefore), FormatAmount(got))
+			}
+			if got := totalIssued(m.eur); got > eurBefore {
+				t.Fatalf("EUR created from nothing: %s → %s", FormatAmount(eurBefore), FormatAmount(got))
+			}
+			if got := totalXLM(); got != xlmBefore {
+				t.Fatalf("XLM+fees not conserved: %s → %s", FormatAmount(xlmBefore), FormatAmount(got))
+			}
+		})
+	}
+}
+
 // TestJournalRollbackFuzz interleaves failing and succeeding transactions
 // and verifies the state never drifts from a reference rebuilt from
 // snapshots — the journaling machinery under stress.

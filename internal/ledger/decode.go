@@ -1,0 +1,415 @@
+package ledger
+
+import (
+	"fmt"
+
+	"stellar/internal/xdr"
+)
+
+// Decoders inverse to the EncodeXDR methods in tx.go and ops.go. The
+// encoding is canonical, so decode followed by encode reproduces the
+// input byte-for-byte for any well-formed envelope; the fuzz targets in
+// internal/xdr hold the round-trip to that standard. Hostile inputs are
+// bounded: declared counts are capped before allocation and optional
+// uint8 fields must fit in eight bits.
+
+// Decode-time caps. The operation cap matches stellar-core's 100-op
+// transaction limit; the signature cap matches its 20-signature limit;
+// the path cap matches the PathPayment documentation.
+const (
+	maxDecodeOperations = 100
+	maxDecodeSignatures = 20
+	maxDecodePathLen    = 5
+)
+
+// EncodeSignedXDR writes the complete transaction envelope: the signed
+// payload (EncodeXDR) followed by the decorated signatures, which are
+// excluded from the payload and the transaction hash.
+func (tx *Transaction) EncodeSignedXDR(e *xdr.Encoder) {
+	tx.EncodeXDR(e)
+	e.PutUint32(uint32(len(tx.Signatures)))
+	for i := range tx.Signatures {
+		e.PutFixed(tx.Signatures[i].Hint[:])
+		e.PutBytes(tx.Signatures[i].Sig)
+	}
+}
+
+// MarshalSignedXDR encodes the full envelope into a fresh byte slice.
+func (tx *Transaction) MarshalSignedXDR() []byte {
+	e := xdr.NewEncoder(256)
+	tx.EncodeSignedXDR(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeTransactionXDR reads the signed payload written by
+// Transaction.EncodeXDR, leaving the decoder positioned after it.
+func DecodeTransactionXDR(d *xdr.Decoder) (*Transaction, error) {
+	tx := &Transaction{}
+	src, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	tx.Source = AccountID(src)
+	fee, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	tx.Fee = Amount(fee)
+	if tx.SeqNum, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	hasBounds, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasBounds {
+		tb := &TimeBounds{}
+		if tb.MinTime, err = d.Int64(); err != nil {
+			return nil, err
+		}
+		if tb.MaxTime, err = d.Int64(); err != nil {
+			return nil, err
+		}
+		tx.TimeBounds = tb
+	}
+	if tx.Memo, err = d.String(); err != nil {
+		return nil, err
+	}
+	nops, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nops > maxDecodeOperations {
+		return nil, fmt.Errorf("ledger: transaction with %d operations", nops)
+	}
+	for i := uint32(0); i < nops; i++ {
+		opSrc, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		body, err := decodeOpBody(typ, d)
+		if err != nil {
+			return nil, err
+		}
+		tx.Operations = append(tx.Operations, Operation{Source: AccountID(opSrc), Body: body})
+	}
+	return tx, nil
+}
+
+// DecodeSignedTransactionXDR decodes a complete envelope written by
+// EncodeSignedXDR, requiring all of data to be consumed.
+func DecodeSignedTransactionXDR(data []byte) (*Transaction, error) {
+	d := xdr.NewDecoder(data)
+	tx, err := DecodeTransactionXDR(d)
+	if err != nil {
+		return nil, err
+	}
+	nsigs, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nsigs > maxDecodeSignatures {
+		return nil, fmt.Errorf("ledger: transaction with %d signatures", nsigs)
+	}
+	for i := uint32(0); i < nsigs; i++ {
+		hint, err := d.Fixed(4)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		ds := DecoratedSignature{Sig: sig}
+		copy(ds.Hint[:], hint)
+		tx.Signatures = append(tx.Signatures, ds)
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("ledger: %d trailing bytes after envelope", d.Remaining())
+	}
+	return tx, nil
+}
+
+// decodeOpBody dispatches on the operation type string written by
+// Transaction.EncodeXDR.
+func decodeOpBody(typ string, d *xdr.Decoder) (OpBody, error) {
+	switch typ {
+	case "CreateAccount":
+		return decodeCreateAccount(d)
+	case "Payment":
+		return decodePayment(d)
+	case "PathPayment":
+		return decodePathPayment(d)
+	case "ManageOffer":
+		return decodeManageOffer(d)
+	case "SetOptions":
+		return decodeSetOptions(d)
+	case "ChangeTrust":
+		return decodeChangeTrust(d)
+	case "AllowTrust":
+		return decodeAllowTrust(d)
+	case "AccountMerge":
+		return decodeAccountMerge(d)
+	case "ManageData":
+		return decodeManageData(d)
+	case "BumpSequence":
+		return decodeBumpSequence(d)
+	default:
+		return nil, fmt.Errorf("ledger: unknown operation type %q", typ)
+	}
+}
+
+func decodeCreateAccount(d *xdr.Decoder) (OpBody, error) {
+	op := &CreateAccount{}
+	dest, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	op.Destination = AccountID(dest)
+	bal, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.StartingBalance = Amount(bal)
+	return op, nil
+}
+
+func decodePayment(d *xdr.Decoder) (OpBody, error) {
+	op := &Payment{}
+	dest, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	op.Destination = AccountID(dest)
+	if op.Asset, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	amt, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.Amount = Amount(amt)
+	return op, nil
+}
+
+func decodePathPayment(d *xdr.Decoder) (OpBody, error) {
+	op := &PathPayment{}
+	var err error
+	if op.SendAsset, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	max, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.SendMax = Amount(max)
+	dest, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	op.Destination = AccountID(dest)
+	if op.DestAsset, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	amt, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.DestAmount = Amount(amt)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodePathLen {
+		return nil, fmt.Errorf("ledger: path payment through %d assets", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		a, err := decodeAsset(d)
+		if err != nil {
+			return nil, err
+		}
+		op.Path = append(op.Path, a)
+	}
+	return op, nil
+}
+
+func decodeManageOffer(d *xdr.Decoder) (OpBody, error) {
+	op := &ManageOffer{}
+	var err error
+	if op.OfferID, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if op.Selling, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	if op.Buying, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	amt, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.Amount = Amount(amt)
+	if op.Price.N, err = d.Int32(); err != nil {
+		return nil, err
+	}
+	if op.Price.D, err = d.Int32(); err != nil {
+		return nil, err
+	}
+	if op.Passive, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// decodeOptU8 reads the optional-uint8 shape SetOptions encodes: a
+// presence bool, then the value as a uint32 that must fit in eight bits
+// (anything larger could not have come from the encoder and would
+// silently truncate on re-encode).
+func decodeOptU8(d *xdr.Decoder) (*uint8, error) {
+	present, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	v, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if v > 255 {
+		return nil, fmt.Errorf("ledger: weight %d exceeds uint8", v)
+	}
+	u := uint8(v)
+	return &u, nil
+}
+
+func decodeSetOptions(d *xdr.Decoder) (OpBody, error) {
+	op := &SetOptions{}
+	set, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	op.SetFlags = AccountFlags(set)
+	clr, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	op.ClearFlags = AccountFlags(clr)
+	if op.MasterWeight, err = decodeOptU8(d); err != nil {
+		return nil, err
+	}
+	if op.LowThreshold, err = decodeOptU8(d); err != nil {
+		return nil, err
+	}
+	if op.MedThreshold, err = decodeOptU8(d); err != nil {
+		return nil, err
+	}
+	if op.HighThreshold, err = decodeOptU8(d); err != nil {
+		return nil, err
+	}
+	hasSigner, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasSigner {
+		key, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		w, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if w > 255 {
+			return nil, fmt.Errorf("ledger: signer weight %d exceeds uint8", w)
+		}
+		op.Signer = &Signer{Key: AccountID(key), Weight: uint8(w)}
+	}
+	hasDomain, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasDomain {
+		dom, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		op.HomeDomain = &dom
+	}
+	return op, nil
+}
+
+func decodeChangeTrust(d *xdr.Decoder) (OpBody, error) {
+	op := &ChangeTrust{}
+	var err error
+	if op.Asset, err = decodeAsset(d); err != nil {
+		return nil, err
+	}
+	lim, err := d.Int64()
+	if err != nil {
+		return nil, err
+	}
+	op.Limit = Amount(lim)
+	return op, nil
+}
+
+func decodeAllowTrust(d *xdr.Decoder) (OpBody, error) {
+	op := &AllowTrust{}
+	trustor, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	op.Trustor = AccountID(trustor)
+	if op.AssetCode, err = d.String(); err != nil {
+		return nil, err
+	}
+	if op.Authorize, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func decodeAccountMerge(d *xdr.Decoder) (OpBody, error) {
+	dest, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	return &AccountMerge{Destination: AccountID(dest)}, nil
+}
+
+func decodeManageData(d *xdr.Decoder) (OpBody, error) {
+	op := &ManageData{}
+	var err error
+	if op.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	present, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if present {
+		// A present-but-empty value decodes to a non-nil empty slice so
+		// that it re-encodes as present (nil means delete).
+		if op.Value, err = d.Bytes(); err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+func decodeBumpSequence(d *xdr.Decoder) (OpBody, error) {
+	op := &BumpSequence{}
+	var err error
+	if op.BumpTo, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

@@ -1,0 +1,153 @@
+package ledger
+
+import (
+	"testing"
+
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
+)
+
+// FuzzCheckSignatures holds the tentpole's core safety property under
+// fuzzing: signature checking through the verification cache must agree
+// with direct ed25519 verification on every input — valid envelopes,
+// tampered signatures, wrong hints, multisig shortfalls, and arbitrary
+// decoded bytes alike — whether the cache is cold or warm. The cache
+// memoizes a pure function, so any disagreement is a bug.
+
+// fuzzSigFixture carries two identical ledger states: ref verifies
+// without a cache (the retained sequential reference), cached goes
+// through a shared verify.Cache that warms up across fuzz iterations.
+type fuzzSigFixture struct {
+	networkID stellarcrypto.Hash
+	keys      []stellarcrypto.KeyPair
+	ids       []AccountID
+	ref       *State
+	cached    *State
+}
+
+func newFuzzSigFixture(tb testing.TB) *fuzzSigFixture {
+	fx := &fuzzSigFixture{
+		networkID: stellarcrypto.HashBytes([]byte("fuzz-checksig-network")),
+	}
+	for i := 0; i < 3; i++ {
+		kp := stellarcrypto.KeyPairFromString("fuzz-checksig-" + string(rune('a'+i)))
+		fx.keys = append(fx.keys, kp)
+		fx.ids = append(fx.ids, AccountIDFromPublicKey(kp.Public))
+	}
+	build := func(v *verify.Verifier) *State {
+		master := AccountIDFromPublicKey(stellarcrypto.KeyPairFromString("fuzz-checksig-master").Public)
+		st := NewGenesisState(master)
+		env := &ApplyEnv{LedgerSeq: 2}
+		for _, id := range fx.ids {
+			op := &CreateAccount{Destination: id, StartingBalance: 100 * One}
+			if err := op.Apply(st, env, master); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		// Account 1 is 2-of-2 multisig for medium operations: master key
+		// (weight 1) plus account 2's key (weight 1).
+		a := st.accounts[fx.ids[1]]
+		a.setSigner(fx.ids[2], 1)
+		a.Thresholds.Medium = 2
+		if v != nil {
+			st.SetVerifier(v)
+		}
+		return st
+	}
+	fx.ref = build(nil)
+	fx.cached = build(verify.New(1, 1024))
+	return fx
+}
+
+// txFromBytes turns fuzz input into a transaction. Well-formed envelope
+// encodings are decoded as-is; anything else seeds a generator that
+// builds structurally valid transactions with byte-driven faults, so the
+// interesting verification paths (valid multisig, tampered signatures,
+// corrupted hints) are reached constantly rather than by decoder luck.
+func (fx *fuzzSigFixture) txFromBytes(data []byte) *Transaction {
+	if tx, err := DecodeSignedTransactionXDR(data); err == nil {
+		return tx
+	}
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	n := len(fx.ids)
+	src := int(at(0)) % n
+	tx := &Transaction{
+		Source: fx.ids[src],
+		Fee:    200,
+		SeqNum: uint64(2)<<32 + 1,
+	}
+	switch at(1) % 3 {
+	case 0: // medium threshold — multisig on account 1
+		tx.Operations = []Operation{{Body: &Payment{
+			Destination: fx.ids[(src+1)%n], Asset: NativeAsset(), Amount: 1}}}
+	case 1: // high threshold
+		tx.Operations = []Operation{{Body: &SetOptions{}}}
+	default: // low threshold, plus a cross-source op
+		tx.Operations = []Operation{
+			{Body: &BumpSequence{BumpTo: uint64(at(6))}},
+			{Source: fx.ids[(src+1)%n], Body: &BumpSequence{BumpTo: 1}},
+		}
+	}
+	// Sign with up to three byte-selected keys (possibly wrong ones,
+	// possibly duplicates).
+	for i := 0; i < 1+int(at(2))%3; i++ {
+		tx.Sign(fx.networkID, fx.keys[int(at(3+i))%n])
+	}
+	if at(5)&1 != 0 && len(tx.Signatures) > 0 {
+		// Tamper with one signature byte.
+		s := tx.Signatures[int(at(6))%len(tx.Signatures)]
+		s.Sig = append([]byte(nil), s.Sig...)
+		s.Sig[int(at(7))%len(s.Sig)] ^= 1 + at(8)
+		tx.Signatures[int(at(6))%len(tx.Signatures)] = s
+	}
+	if at(5)&2 != 0 && len(tx.Signatures) > 0 {
+		// Corrupt a hint: must cost only the fallback scan, never change
+		// the verdict.
+		tx.Signatures[0].Hint = [4]byte{at(9), at(10), at(11), at(12)}
+	}
+	return tx
+}
+
+func FuzzCheckSignatures(f *testing.F) {
+	fx := newFuzzSigFixture(f)
+
+	// Seed with a valid single-sig envelope, a satisfied multisig
+	// envelope, and generator-path bytes for each fault combination.
+	valid := &Transaction{Source: fx.ids[0], Fee: 200, SeqNum: uint64(2)<<32 + 1,
+		Operations: []Operation{{Body: &Payment{Destination: fx.ids[1], Asset: NativeAsset(), Amount: 1}}}}
+	valid.Sign(fx.networkID, fx.keys[0])
+	f.Add(valid.MarshalSignedXDR())
+	multi := &Transaction{Source: fx.ids[1], Fee: 200, SeqNum: uint64(2)<<32 + 1,
+		Operations: []Operation{{Body: &Payment{Destination: fx.ids[0], Asset: NativeAsset(), Amount: 1}}}}
+	multi.Sign(fx.networkID, fx.keys[1])
+	multi.Sign(fx.networkID, fx.keys[2])
+	f.Add(multi.MarshalSignedXDR())
+	for _, seed := range [][]byte{
+		{0, 0, 1},
+		{1, 0, 2, 1, 2, 0},
+		{1, 1, 1, 0, 0, 1, 3, 7, 9},
+		{2, 2, 2, 2, 1, 2, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef},
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx := fx.txFromBytes(data)
+		errRef := tx.checkSignatures(fx.ref, fx.networkID)
+		errCold := tx.checkSignatures(fx.cached, fx.networkID)
+		errWarm := tx.checkSignatures(fx.cached, fx.networkID)
+		if (errRef == nil) != (errCold == nil) || (errRef == nil) != (errWarm == nil) {
+			t.Fatalf("cached and uncached verification disagree:\n ref:  %v\n cold: %v\n warm: %v",
+				errRef, errCold, errWarm)
+		}
+		if errRef != nil && (errRef.Error() != errCold.Error() || errRef.Error() != errWarm.Error()) {
+			t.Fatalf("error text diverges (flows into the results hash):\n ref:  %v\n cold: %v\n warm: %v",
+				errRef, errCold, errWarm)
+		}
+	})
+}

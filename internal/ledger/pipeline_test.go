@@ -1,0 +1,306 @@
+package ledger_test
+
+// Property test for the parallel verification-and-apply pipeline: across
+// 50 seeded random transaction sets, a state wired with the concurrent
+// verifier (cached signature checks, parallel prepass, pooled bucket
+// merges) must produce byte-identical TxResults, results hashes, bucket
+// hashes, and ledger header hashes to the retained sequential reference
+// (nil verifier, no pool). Run under -race via `make race`.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stellar/internal/bucket"
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
+)
+
+// pipeWorld is one universe under comparison: a ledger state, its bucket
+// list, and the chain header it has built up.
+type pipeWorld struct {
+	st      *ledger.State
+	buckets *bucket.List
+	hdr     *ledger.Header
+}
+
+// closeLedger applies ts as the next ledger and extends the header chain,
+// mirroring the herder's applyLedger sequence.
+func (w *pipeWorld) closeLedger(t *testing.T, ts *ledger.TxSet, networkID stellarcrypto.Hash, closeTime int64) ([]ledger.TxResult, stellarcrypto.Hash) {
+	t.Helper()
+	seq := w.hdr.LedgerSeq + 1
+	results, resultsHash := w.st.ApplyTxSet(ts, networkID, &ledger.ApplyEnv{LedgerSeq: seq, CloseTime: closeTime})
+	w.buckets.AddBatch(seq, w.st.TakeDirtySnapshot())
+	hdr := ledger.NextHeader(w.hdr, w.hdr.Hash())
+	hdr.TxSetHash = ts.Hash(networkID)
+	hdr.ResultsHash = resultsHash
+	hdr.SnapshotHash = w.buckets.Hash()
+	hdr.CloseTime = closeTime
+	hdr.FeePool = w.st.FeePool
+	w.hdr = hdr
+	return results, resultsHash
+}
+
+// pipeFixture holds the deterministic cast shared by both worlds.
+type pipeFixture struct {
+	networkID stellarcrypto.Hash
+	master    stellarcrypto.KeyPair
+	keys      []stellarcrypto.KeyPair
+	ids       []ledger.AccountID
+	usd       ledger.Asset
+	// seqs tracks the next expected sequence number per account while
+	// generating transactions.
+	seqs map[ledger.AccountID]uint64
+}
+
+func (f *pipeFixture) id(i int) ledger.AccountID { return f.ids[i] }
+
+// buildWorld constructs one universe and plays the deterministic setup
+// ledger through its own pipeline: funded accounts, a USD trustline per
+// account, issued balances, and one account with an extra signer.
+func (f *pipeFixture) buildWorld(t *testing.T, v *verify.Verifier) *pipeWorld {
+	t.Helper()
+	masterID := ledger.AccountIDFromPublicKey(f.master.Public)
+	st := ledger.NewGenesisState(masterID)
+	w := &pipeWorld{st: st, buckets: bucket.NewList()}
+	if v != nil {
+		st.SetVerifier(v)
+		w.buckets.SetPool(v.Pool)
+	}
+	w.buckets.AddBatch(1, st.SnapshotAll())
+	st.TakeDirtySnapshot()
+	w.hdr = ledger.GenesisHeader(st, 1_000)
+	w.hdr.SnapshotHash = w.buckets.Hash()
+
+	// Transactions within a set apply in source order, not dependency
+	// order, so the setup runs as three ledgers: fund, then trustlines,
+	// then issuance.
+	apply := func(closeTime int64, txs ...*ledger.Transaction) {
+		ts := &ledger.TxSet{PrevLedgerHash: w.hdr.Hash(), Txs: txs}
+		results, _ := w.closeLedger(t, ts, f.networkID, closeTime)
+		for i, r := range results {
+			if !r.Success {
+				t.Fatalf("setup tx %d failed: %s %v", i, r.Err, r.OpErrors)
+			}
+		}
+	}
+
+	fund := &ledger.Transaction{Source: masterID, SeqNum: 1}
+	for _, id := range f.ids {
+		fund.Operations = append(fund.Operations,
+			ledger.Operation{Body: &ledger.CreateAccount{Destination: id, StartingBalance: 10_000 * ledger.One}})
+	}
+	fund.Fee = st.MinFee(fund)
+	fund.Sign(f.networkID, f.master)
+	apply(2_000, fund)
+
+	// Each non-issuer account trusts USD, and account 1 gains account
+	// 2's key as a delegated signer.
+	var trusts []*ledger.Transaction
+	for i := 1; i < len(f.ids); i++ {
+		tx := &ledger.Transaction{
+			Source: f.ids[i], SeqNum: pipeSeqBase + 1,
+			Operations: []ledger.Operation{{Body: &ledger.ChangeTrust{Asset: f.usd, Limit: 1_000_000 * ledger.One}}},
+		}
+		if i == 1 {
+			w := uint8(1)
+			tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.SetOptions{
+				Signer:       &ledger.Signer{Key: f.ids[2], Weight: 1},
+				MasterWeight: &w,
+			}})
+		}
+		tx.Fee = st.MinFee(tx)
+		tx.Sign(f.networkID, f.keys[i])
+		trusts = append(trusts, tx)
+	}
+	apply(2_001, trusts...)
+
+	issue := &ledger.Transaction{Source: f.ids[0], SeqNum: pipeSeqBase + 1}
+	for i := 1; i < len(f.ids); i++ {
+		issue.Operations = append(issue.Operations,
+			ledger.Operation{Body: &ledger.Payment{Destination: f.ids[i], Asset: f.usd, Amount: 5_000 * ledger.One}})
+	}
+	issue.Fee = st.MinFee(issue)
+	issue.Sign(f.networkID, f.keys[0])
+	apply(2_002, issue)
+	return w
+}
+
+// newPipeFixture derives the cast for one seed.
+func newPipeFixture(seed int64) *pipeFixture {
+	f := &pipeFixture{
+		networkID: stellarcrypto.HashBytes([]byte("pipeline-property-test")),
+		master:    stellarcrypto.KeyPairFromString(fmt.Sprintf("pipe-master-%d", seed)),
+		seqs:      make(map[ledger.AccountID]uint64),
+	}
+	for i := 0; i < 10; i++ {
+		kp := stellarcrypto.KeyPairFromString(fmt.Sprintf("pipe-%d-acct-%d", seed, i))
+		f.keys = append(f.keys, kp)
+		f.ids = append(f.ids, ledger.AccountIDFromPublicKey(kp.Public))
+	}
+	f.usd = ledger.Asset{Code: "USD", Issuer: f.ids[0]}
+	// Accounts are created in ledger 2, so they start at seq 2<<32
+	// (CreateAccount seeds SeqNum = ledgerSeq << 32); the setup then
+	// consumes one sequence number per account.
+	for _, id := range f.ids {
+		f.seqs[id] = pipeSeqBase + 2
+	}
+	return f
+}
+
+// pipeSeqBase is the starting sequence number of the fixture's accounts.
+const pipeSeqBase = uint64(2) << 32
+
+// randomTxSet generates a mixed, partially-invalid transaction set. The
+// returned set deliberately includes forged signatures, zeroed hints,
+// stale sequence numbers, underpaid fees, multisig via a delegated
+// signer, and operations destined to fail at apply time.
+func (f *pipeFixture) randomTxSet(rng *rand.Rand, prev stellarcrypto.Hash, closeTime int64) *ledger.TxSet {
+	n := 8 + rng.Intn(12)
+	var txs []*ledger.Transaction
+	for t := 0; t < n; t++ {
+		src := 1 + rng.Intn(len(f.ids)-1)
+		tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+		nops := 1 + rng.Intn(3)
+		for o := 0; o < nops; o++ {
+			dst := 1 + rng.Intn(len(f.ids)-1)
+			switch rng.Intn(6) {
+			case 0:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.Payment{
+					Destination: f.id(dst), Asset: ledger.NativeAsset(),
+					Amount: ledger.Amount(1+rng.Intn(100)) * ledger.One}})
+			case 1:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.Payment{
+					Destination: f.id(dst), Asset: f.usd,
+					Amount: ledger.Amount(1+rng.Intn(50)) * ledger.One}})
+			case 2:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.ManageOffer{
+					Selling: f.usd, Buying: ledger.NativeAsset(),
+					Amount: ledger.Amount(1+rng.Intn(20)) * ledger.One,
+					Price:  ledger.Price{N: int32(1 + rng.Intn(4)), D: int32(1 + rng.Intn(4))}}})
+			case 3:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.ManageOffer{
+					Selling: ledger.NativeAsset(), Buying: f.usd,
+					Amount: ledger.Amount(1+rng.Intn(20)) * ledger.One,
+					Price:  ledger.Price{N: int32(1 + rng.Intn(4)), D: int32(1 + rng.Intn(4))}}})
+			case 4:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.PathPayment{
+					SendAsset: ledger.NativeAsset(), SendMax: ledger.Amount(1+rng.Intn(50)) * ledger.One,
+					Destination: f.id(dst), DestAsset: f.usd,
+					DestAmount: ledger.Amount(1+rng.Intn(10)) * ledger.One}})
+			default:
+				// Payment with a cross-account op source: pulls a second
+				// account's signing requirements into the transaction.
+				other := 1 + rng.Intn(len(f.ids)-1)
+				tx.Operations = append(tx.Operations, ledger.Operation{
+					Source: f.id(other),
+					Body: &ledger.Payment{Destination: f.id(dst), Asset: ledger.NativeAsset(),
+						Amount: ledger.Amount(1+rng.Intn(10)) * ledger.One}})
+				if other != src {
+					tx.Fee = -1 // mark: needs the other account's signature too
+				}
+			}
+		}
+		needsOther := tx.Fee == -1
+		tx.Fee = 0
+		sigOK, seqOK, feeOK := true, true, true
+		switch rng.Intn(8) {
+		case 0: // forged signature
+			sigOK = false
+		case 1: // stale sequence number
+			tx.SeqNum--
+			seqOK = false
+		case 2: // underpaid fee
+			feeOK = false
+		}
+		if feeOK {
+			tx.Fee = ledger.Amount(len(tx.Operations))*ledger.DefaultBaseFee + ledger.Amount(rng.Intn(200))
+		} else {
+			tx.Fee = ledger.DefaultBaseFee / 2
+		}
+		signers := map[ledger.AccountID]bool{}
+		for i := range tx.Operations {
+			id := tx.Operations[i].Source
+			if id == "" {
+				id = tx.Source
+			}
+			signers[id] = true
+		}
+		signers[tx.Source] = true
+		for i, id := range f.ids {
+			if !signers[id] {
+				continue
+			}
+			key := f.keys[i]
+			if !sigOK {
+				key = stellarcrypto.KeyPairFromString("pipe-forger")
+			} else if id == f.id(1) && rng.Intn(2) == 0 {
+				key = f.keys[2] // delegated signer for the multisig account
+			}
+			tx.Sign(f.networkID, key)
+		}
+		switch rng.Intn(4) {
+		case 0: // zeroed hint: must still verify via the fallback scan
+			tx.Signatures[0].Hint = [4]byte{}
+		case 1: // garbage hint
+			tx.Signatures[0].Hint = [4]byte{0xde, 0xad, 0xbe, 0xef}
+		}
+		if sigOK && seqOK && feeOK && !needsOther {
+			f.seqs[tx.Source]++
+		} else if needsOther && sigOK && seqOK && feeOK {
+			f.seqs[tx.Source]++ // all required signatures were attached
+		}
+		txs = append(txs, tx)
+	}
+	return &ledger.TxSet{PrevLedgerHash: prev, Txs: txs}
+}
+
+func TestParallelApplyMatchesSequentialReference(t *testing.T) {
+	const seeds = 50
+	const ledgersPerSeed = 3
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			f := newPipeFixture(seed)
+			v := verify.New(4, 1<<12)
+			ref := f.buildWorld(t, nil) // sequential reference: no verifier
+			par := f.buildWorld(t, v)   // parallel pipeline under test
+			if ref.hdr.Hash() != par.hdr.Hash() {
+				t.Fatalf("setup ledger headers diverged")
+			}
+			for l := 0; l < ledgersPerSeed; l++ {
+				closeTime := int64(3_000 + l)
+				ts := f.randomTxSet(rng, ref.hdr.Hash(), closeTime)
+				refResults, refRH := ref.closeLedger(t, ts, f.networkID, closeTime)
+				parResults, parRH := par.closeLedger(t, ts, f.networkID, closeTime)
+				if !reflect.DeepEqual(refResults, parResults) {
+					for i := range refResults {
+						if !reflect.DeepEqual(refResults[i], parResults[i]) {
+							t.Errorf("ledger %d tx %d: sequential %+v != parallel %+v",
+								l, i, refResults[i], parResults[i])
+						}
+					}
+					t.Fatalf("ledger %d: results diverged", l)
+				}
+				if refRH != parRH {
+					t.Fatalf("ledger %d: results hashes diverged", l)
+				}
+				if ref.buckets.Hash() != par.buckets.Hash() {
+					t.Fatalf("ledger %d: bucket list hashes diverged", l)
+				}
+				if ref.hdr.Hash() != par.hdr.Hash() {
+					t.Fatalf("ledger %d: header hashes diverged", l)
+				}
+			}
+			// The parallel world must actually have exercised the cache.
+			if st := v.Cache.Stats(); st.Misses == 0 {
+				t.Fatalf("parallel pipeline never touched the cache: %+v", st)
+			}
+		})
+	}
+}

@@ -3,6 +3,9 @@ package ledger
 import (
 	"fmt"
 	"sort"
+
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
 )
 
 // State is the in-memory ledger state: every live ledger entry plus the
@@ -37,6 +40,12 @@ type State struct {
 
 	// ins holds the optional apply-path metrics (SetObs).
 	ins *ledgerInstruments
+
+	// verifier, when set, routes signature checks through the shared
+	// verification cache and enables the parallel prepass in ApplyTxSet.
+	// Nil means direct, uncached, sequential verification — the retained
+	// reference implementation the property tests compare against.
+	verifier *verify.Verifier
 }
 
 type bookKey struct{ selling, buying string }
@@ -81,6 +90,20 @@ func NewGenesisState(master AccountID) *State {
 		Thresholds: DefaultThresholds(),
 	}
 	return s
+}
+
+// SetVerifier routes the state's signature checks through v's cache and
+// pool. A nil v restores the direct sequential reference path.
+func (s *State) SetVerifier(v *verify.Verifier) { s.verifier = v }
+
+// Verifier returns the attached verification pipeline, or nil.
+func (s *State) Verifier() *verify.Verifier { return s.verifier }
+
+// verifySig checks one signature, through the cache when a verifier is
+// attached. The verdict is identical either way: the cache memoizes a
+// pure function of (key, msg, sig).
+func (s *State) verifySig(pk stellarcrypto.PublicKey, msg, sig []byte) bool {
+	return s.verifier.Verify(pk, msg, sig) // nil-safe: falls back to pk.Verify
 }
 
 // --- journaling ---

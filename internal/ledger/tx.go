@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"fmt"
+	"sort"
 
 	"stellar/internal/stellarcrypto"
 	"stellar/internal/xdr"
@@ -33,6 +34,18 @@ func (tb *TimeBounds) Contains(closeTime int64) bool {
 	return true
 }
 
+// DecoratedSignature pairs a signature with a hint identifying the
+// signing key: the last four bytes of the ed25519 public key, as in
+// stellar-core. The hint lets verification try the likely key first
+// instead of brute-forcing every candidate; it is advisory only — a
+// wrong or zero hint costs a fallback scan, never a rejection.
+// Signatures (and therefore hints) are excluded from the transaction's
+// signed payload and hash.
+type DecoratedSignature struct {
+	Hint [4]byte
+	Sig  []byte
+}
+
 // Transaction is the unit of atomic ledger change.
 type Transaction struct {
 	Source     AccountID
@@ -41,7 +54,7 @@ type Transaction struct {
 	TimeBounds *TimeBounds
 	Memo       string
 	Operations []Operation
-	Signatures [][]byte
+	Signatures []DecoratedSignature
 }
 
 // Operation pairs an operation body with an optional source account
@@ -123,10 +136,14 @@ func (tx *Transaction) Hash(networkID stellarcrypto.Hash) stellarcrypto.Hash {
 	return stellarcrypto.HashBytes(e.Bytes())
 }
 
-// Sign appends a signature by kp over the transaction hash.
+// Sign appends a signature by kp over the transaction hash, decorated
+// with the signing key's hint.
 func (tx *Transaction) Sign(networkID stellarcrypto.Hash, kp stellarcrypto.KeyPair) {
 	h := tx.Hash(networkID)
-	tx.Signatures = append(tx.Signatures, kp.Secret.Sign(h[:]))
+	tx.Signatures = append(tx.Signatures, DecoratedSignature{
+		Hint: kp.Public.Hint(),
+		Sig:  kp.Secret.Sign(h[:]),
+	})
 }
 
 // requiredLevels returns, per source account, the highest threshold level
@@ -157,39 +174,91 @@ func thresholdValue(a *AccountEntry, lvl ThresholdLevel) uint8 {
 	}
 }
 
+// sigCandidate is a decoded signing-key candidate for one account:
+// strkey decode and hint derivation happen once per account, not once
+// per (signature, candidate) pair.
+type sigCandidate struct {
+	id   AccountID
+	pk   stellarcrypto.PublicKey
+	hint [4]byte
+	used bool
+}
+
 // checkSignatures verifies that, for every source account the transaction
 // touches, the attached signatures carry enough weight for the required
 // threshold level (§5.1 multisig).
+//
+// Accounts are checked in sorted order: the error below names the first
+// failing account and is stored in TxResult.Err, which feeds the results
+// hash and thence the ledger header hash — map iteration order must not
+// leak into consensus-visible bytes.
 func (tx *Transaction) checkSignatures(st *State, networkID stellarcrypto.Hash) error {
 	h := tx.Hash(networkID)
-	for acct, lvl := range tx.requiredLevels() {
+	req := tx.requiredLevels()
+	accts := make([]AccountID, 0, len(req))
+	for acct := range req {
+		accts = append(accts, acct)
+	}
+	sort.Slice(accts, func(i, j int) bool { return accts[i] < accts[j] })
+	for _, acct := range accts {
+		lvl := req[acct]
 		entry := st.Account(acct)
 		if entry == nil {
 			return fmt.Errorf("ledger: tx source account %s does not exist", acct)
 		}
 		needed := int(thresholdValue(entry, lvl))
 		weight := 0
-		// Candidate signing keys: the master key plus listed signers.
-		candidates := make([]AccountID, 0, 1+len(entry.Signers))
-		candidates = append(candidates, entry.ID)
-		for _, s := range entry.Signers {
-			candidates = append(candidates, s.Key)
+		// Candidate signing keys: the master key plus listed signers,
+		// each decoded once. Undecodable keys simply never match, and a
+		// key listed twice counts once.
+		candidates := make([]sigCandidate, 0, 1+len(entry.Signers))
+		seen := make(map[AccountID]bool, 1+len(entry.Signers))
+		addCandidate := func(id AccountID) {
+			if seen[id] {
+				return
+			}
+			seen[id] = true
+			pk, err := id.PublicKey()
+			if err != nil {
+				return
+			}
+			candidates = append(candidates, sigCandidate{id: id, pk: pk, hint: pk.Hint()})
 		}
-		used := make(map[AccountID]bool)
-		for _, sig := range tx.Signatures {
-			for _, key := range candidates {
-				if used[key] {
+		addCandidate(entry.ID)
+		for _, s := range entry.Signers {
+			addCandidate(s.Key)
+		}
+		for si := range tx.Signatures {
+			sig := &tx.Signatures[si]
+			matched := -1
+			// Hint pass: only candidates whose key ends in the hint.
+			for ci := range candidates {
+				c := &candidates[ci]
+				if c.used || c.hint != sig.Hint {
 					continue
 				}
-				pk, err := key.PublicKey()
-				if err != nil {
-					continue
-				}
-				if pk.Verify(h[:], sig) {
-					used[key] = true
-					weight += int(entry.signerWeight(key))
+				if st.verifySig(c.pk, h[:], sig.Sig) {
+					matched = ci
 					break
 				}
+			}
+			if matched < 0 {
+				// Fallback full scan: a missing or wrong hint must cost
+				// time, never correctness.
+				for ci := range candidates {
+					c := &candidates[ci]
+					if c.used || c.hint == sig.Hint {
+						continue
+					}
+					if st.verifySig(c.pk, h[:], sig.Sig) {
+						matched = ci
+						break
+					}
+				}
+			}
+			if matched >= 0 {
+				candidates[matched].used = true
+				weight += int(entry.signerWeight(candidates[matched].id))
 			}
 		}
 		if weight < needed || weight == 0 {

@@ -144,6 +144,17 @@ func (p PublicKey) Verify(msg, sig []byte) bool {
 	return ed25519.Verify(p.ed, msg, sig)
 }
 
+// Hint returns the signature hint for the key: its last four bytes, as
+// in stellar-core's DecoratedSignature. Verifiers use the hint to try
+// likely keys first instead of brute-forcing every candidate.
+func (p PublicKey) Hint() [4]byte {
+	var h [4]byte
+	if len(p.ed) >= 4 {
+		copy(h[:], p.ed[len(p.ed)-4:])
+	}
+	return h
+}
+
 // Address returns the strkey-style "G..." encoding of the public key.
 func (p PublicKey) Address() string { return encodeStrkey(versionAccountID, p.ed) }
 
