@@ -7,7 +7,10 @@ CHAOS_SEEDS ?=
 # FUZZTIME is how long each native fuzz target runs under `make fuzz`.
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt check bench bench-smoke fuzz chaos soak
+# TRACE_OUT is where trace-smoke writes its Chrome trace artifact.
+TRACE_OUT ?= trace-smoke.json
+
+.PHONY: all build test race vet fmt check bench bench-smoke trace-smoke fuzz chaos soak
 
 all: check
 
@@ -37,9 +40,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -count 3 .
 
 # bench-smoke runs each benchmark once — a fast regression tripwire for CI,
-# not a measurement.
+# not a measurement — plus the nil-tracer overhead budget (tracing off
+# must cost <1% of a consensus round).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -benchtime 1x .
+	TRACE_OVERHEAD=1 $(GO) test -run '^TestNilTracerOverhead$$' -v .
+
+# trace-smoke runs a short traced simulation, validates the exported
+# Chrome trace (schema + full parent-linked tx lifecycle), and prints the
+# latency decomposition. CI uploads $(TRACE_OUT) as an artifact.
+trace-smoke:
+	$(GO) run ./cmd/stellar-sim -validators 4 -accounts 500 -rate 20 -duration 40s \
+		-archive $$(mktemp -d) -trace $(TRACE_OUT) -decompose
+	$(GO) run ./cmd/tracecheck -lifecycle $(TRACE_OUT)
 
 # fuzz runs each native fuzz target for FUZZTIME. Go permits only one
 # -fuzz pattern per invocation, hence one run per target.

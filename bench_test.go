@@ -8,6 +8,7 @@ package stellar
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"stellar/internal/experiments"
 	"stellar/internal/fba"
 	"stellar/internal/ledger"
+	"stellar/internal/obs"
 	"stellar/internal/qconfig"
 	"stellar/internal/quorum"
 	"stellar/internal/scp"
@@ -410,26 +412,89 @@ func BenchmarkEnvelopeSignVerify(b *testing.B) {
 	}
 }
 
-// BenchmarkSCPRound measures one full consensus round (nominate →
-// externalize) for a 4-node network in simulation.
-func BenchmarkSCPRound(b *testing.B) {
-	s, err := experiments.Build(experiments.Options{
-		Validators: 4, Accounts: 64, NoLoad: true, LedgerInterval: time.Second,
+// scpRoundBench measures one full consensus round (nominate →
+// externalize) for a 4-node network in simulation, with or without the
+// causal span tracer attached.
+func scpRoundBench(trace bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s, err := experiments.Build(experiments.Options{
+			Validators: 4, Accounts: 64, NoLoad: true, LedgerInterval: time.Second,
+			Trace: trace,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Start()
+		s.Run(3 * time.Second) // warm-up: first ledger closes
+		b.ResetTimer()
+		start := s.Nodes[0].LastHeader().LedgerSeq
+		for i := 0; i < b.N; i++ {
+			s.Run(1200 * time.Millisecond)
+		}
+		b.StopTimer()
+		closed := int(s.Nodes[0].LastHeader().LedgerSeq - start)
+		if closed == 0 {
+			b.Fatal("no ledgers closed")
+		}
+		b.ReportMetric(float64(closed)/float64(b.N), "ledgers/iter")
+	}
+}
+
+// BenchmarkSCPRound is the tracing-off configuration — every node runs
+// with a nil tracer, so the instrumentation reduces to nil checks.
+func BenchmarkSCPRound(b *testing.B) { scpRoundBench(false)(b) }
+
+// BenchmarkSCPRoundTraced attaches the span tracer, for measuring what
+// -trace costs when it is actually on.
+func BenchmarkSCPRoundTraced(b *testing.B) { scpRoundBench(true)(b) }
+
+// TestNilTracerOverhead (gated on TRACE_OVERHEAD=1; bench-smoke runs it)
+// bounds what the span instrumentation adds to BenchmarkSCPRound when
+// tracing is disabled. It measures the nil-tracer fast path directly,
+// scales it by a generous per-ledger call-site budget, and asserts the
+// result stays under 1% of the real cost of closing one ledger.
+func TestNilTracerOverhead(t *testing.T) {
+	if os.Getenv("TRACE_OVERHEAD") == "" {
+		t.Skip("set TRACE_OVERHEAD=1 to run the nil-tracer overhead budget")
+	}
+
+	// (a) one bundle of nil-receiver tracer calls — the exact methods the
+	// herder and ledger issue on the hot path.
+	const opsPerBundle = 9
+	nilRes := testing.Benchmark(func(b *testing.B) {
+		var tr *obs.Tracer
+		for i := 0; i < b.N; i++ {
+			p := tr.Proc("node")
+			sp := p.Span("consensus", obs.SpanSlot)
+			c := sp.Child(obs.SpanNomination)
+			c.End()
+			sp.CompleteChild(obs.SpanBucketMerge, 0)
+			sp.Arg("slot", "1")
+			sp.EndAfter(0)
+			sp.End()
+			tr.Flow(sp, c)
+		}
 	})
-	if err != nil {
-		b.Fatal(err)
+	nsPerCall := float64(nilRes.NsPerOp()) / opsPerBundle
+
+	// (b) the real cost of one consensus round, untraced.
+	simRes := testing.Benchmark(scpRoundBench(false))
+	ledgersPerIter := simRes.Extra["ledgers/iter"]
+	if ledgersPerIter <= 0 {
+		t.Fatal("SCP round benchmark closed no ledgers")
 	}
-	s.Start()
-	s.Run(3 * time.Second) // warm-up: first ledger closes
-	b.ResetTimer()
-	start := s.Nodes[0].LastHeader().LedgerSeq
-	for i := 0; i < b.N; i++ {
-		s.Run(1200 * time.Millisecond)
+	nsPerLedger := float64(simRes.NsPerOp()) / ledgersPerIter
+
+	// Budget: 4 validators × (a full tx lifecycle for every one of the
+	// ~100 transactions a ledger can carry + the slot's own span tree),
+	// far above the real call counts.
+	const callsPerLedger = 4 * (100*10 + 50)
+	overhead := nsPerCall * callsPerLedger
+	limit := nsPerLedger / 100 // 1%
+	t.Logf("nil-tracer call: %.2f ns; ledger close: %.0f ns; budgeted overhead %.0f ns (%.3f%%)",
+		nsPerCall, nsPerLedger, overhead, 100*overhead/nsPerLedger)
+	if overhead >= limit {
+		t.Fatalf("nil-tracer path too slow: %d budgeted calls × %.2f ns = %.0f ns ≥ 1%% of a %.0f ns ledger close",
+			callsPerLedger, nsPerCall, overhead, nsPerLedger)
 	}
-	b.StopTimer()
-	closed := int(s.Nodes[0].LastHeader().LedgerSeq - start)
-	if closed == 0 {
-		b.Fatal("no ledgers closed")
-	}
-	b.ReportMetric(float64(closed)/float64(b.N), "ledgers/iter")
 }

@@ -1,14 +1,15 @@
-// Command horizon-demo runs a single-validator Stellar network with a
-// horizon HTTP API in front of it (the Figure 5 architecture): the
-// validator closes ledgers on a real-time cadence while horizon serves
-// clients.
+// Command horizon-demo runs a small Stellar network with a horizon HTTP
+// API in front of it (the Figure 5 architecture): the validators close
+// ledgers on a real-time cadence while horizon serves clients from the
+// first validator's view.
 //
-//	horizon-demo -listen :8000
+//	horizon-demo -listen :8000 -validators 3
 //
 // Then, for example:
 //
 //	curl localhost:8000/ledgers/latest
 //	curl localhost:8000/accounts/<G...>
+//	curl localhost:8000/debug/quorum
 //	curl -X POST localhost:8000/transactions -d '{
 //	    "source_seed": "demo-master",
 //	    "operations": [{"type":"create_account","destination":"G...","amount":"100"}]}'
@@ -23,6 +24,8 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"stellar/internal/fba"
@@ -36,34 +39,38 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":8000", "HTTP listen address")
+	validators := flag.Int("validators", 1, "number of validator nodes (majority quorum)")
 	interval := flag.Duration("interval", 5*time.Second, "ledger interval")
 	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
 	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
+	tracePath := flag.String("trace", "", "record spans on the wall clock; write Chrome trace JSON here on SIGINT/SIGTERM")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	verbose := flag.Bool("v", false, "structured node logging to stderr")
 	flag.Parse()
+	if *validators < 1 {
+		fmt.Fprintln(os.Stderr, "error: -validators must be at least 1")
+		os.Exit(2)
+	}
 
-	ob := &obs.Obs{}
+	var rootLog *slog.Logger
 	if *verbose {
-		ob.Log = obs.NewLogger(os.Stderr, slog.LevelDebug)
+		rootLog = obs.NewLogger(os.Stderr, slog.LevelDebug)
+	}
+	// Demo processes serve real traffic, so spans run on the wall clock
+	// (the simulation below is driven in near-real-time anyway).
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(nil)
 	}
 
 	net := simnet.New(time.Now().UnixNano())
 	networkID := stellarcrypto.HashBytes([]byte("horizon-demo-network"))
-	kp := stellarcrypto.KeyPairFromString("demo-validator")
-	self := fba.NodeIDFromPublicKey(kp.Public)
-	node, err := herder.New(net, herder.Config{
-		Keys:            kp,
-		QSet:            fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
-		NetworkID:       networkID,
-		LedgerInterval:  *interval,
-		VerifyWorkers:   *verifyWorkers,
-		VerifyCacheSize: *verifyCache,
-		Obs:             ob,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+	kps := stellarcrypto.DeterministicKeyPairs("demo-validator", *validators)
+	ids := make([]fba.NodeID, *validators)
+	for i, kp := range kps {
+		ids[i] = fba.NodeIDFromPublicKey(kp.Public)
 	}
+	qset := fba.Majority(ids...)
 
 	// Genesis, plus a human-friendly master account controlled by the
 	// seed label "demo-master" so curl users can sign transactions.
@@ -76,14 +83,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
-	// Bootstrap on the simulation's timebase: close-time validation
-	// compares against the virtual clock, so seeding with wall-clock unix
-	// time would leave every nominated value merely maybe-valid and a
-	// single validator could never confirm a candidate.
-	node.Bootstrap(genesis, 0)
-	node.Start()
+	genesisSnapshot := genesis.SnapshotAll()
+	genesisHeader := ledger.GenesisHeader(genesis, 0)
+
+	nodes := make([]*herder.Node, *validators)
+	for i, kp := range kps {
+		ob := &obs.Obs{Tracer: tracer}
+		if rootLog != nil {
+			ob.Log = rootLog.With(slog.Int("node", i))
+		}
+		node, err := herder.New(net, herder.Config{
+			Keys:            kp,
+			QSet:            qset,
+			NetworkID:       networkID,
+			LedgerInterval:  *interval,
+			VerifyWorkers:   *verifyWorkers,
+			VerifyCacheSize: *verifyCache,
+			Obs:             ob,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		// Bootstrap on the simulation's timebase: close-time validation
+		// compares against the virtual clock, so seeding with wall-clock
+		// unix time would leave every nominated value merely maybe-valid
+		// and the validators could never confirm a candidate.
+		state, err := ledger.RestoreState(genesisSnapshot, genesisHeader)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		node.Bootstrap(state, 0)
+		nodes[i] = node
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.Overlay().Connect(b.Addr())
+			}
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	node := nodes[0]
+
+	// Go runtime self-metrics (heap, GC pauses, goroutines) on the serving
+	// node's registry, refreshed at every /metrics scrape.
+	obs.RegisterRuntimeMetrics(node.Obs().Reg)
 
 	srv := horizon.New(node, net, networkID)
+	srv.EnablePprof = *pprofFlag
 
 	// Drive virtual time in near-real-time under the server lock.
 	go func() {
@@ -96,15 +147,53 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("validator %s closing ledgers every %v\n", self, *interval)
+	// On SIGINT/SIGTERM, flush the trace (if any) before exiting.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		if tracer != nil {
+			srv.Mu.Lock()
+			err := writeTrace(tracer, *tracePath)
+			srv.Mu.Unlock()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev)\n", *tracePath)
+		}
+		os.Exit(0)
+	}()
+
+	fmt.Printf("%d validator(s) closing ledgers every %v (quorum: %d-of-%d)\n",
+		*validators, *interval, qset.Threshold, len(qset.Validators))
 	fmt.Printf("demo master account: %s (source_seed \"demo-master\", balance 1,000,000 XLM)\n", demo)
-	fmt.Printf("horizon listening on %s\n", *listen)
+	fmt.Printf("horizon listening on %s (serving validator %s)\n", *listen, node.ID())
 	fmt.Printf("try: curl localhost%s/ledgers/latest\n", *listen)
 	fmt.Printf("     curl localhost%s/metrics           (Prometheus text)\n", *listen)
 	fmt.Printf("     curl localhost%s/metrics.json      (JSON summary)\n", *listen)
 	fmt.Printf("     curl localhost%s/debug/slots/3/trace  (SCP slot timeline)\n", *listen)
+	fmt.Printf("     curl localhost%s/debug/quorum      (live quorum health)\n", *listen)
+	if *pprofFlag {
+		fmt.Printf("     go tool pprof localhost%s/debug/pprof/profile\n", *listen)
+	}
+	if tracer != nil {
+		fmt.Printf("tracing to %s (flushed on Ctrl-C)\n", *tracePath)
+	}
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -28,6 +28,7 @@ func main() {
 	scenarios := flag.Int("scenarios", 10, "number of random scenarios when no -seed is given")
 	firstSeed := flag.Int64("first-seed", 1, "first seed of the random sweep")
 	metrics := flag.Bool("metrics", false, "dump the chaos metric registry after the run")
+	phases := flag.Bool("phases", false, "trace each scenario and print its per-phase latency table")
 	verbose := flag.Bool("v", false, "structured scenario logging to stderr")
 	flag.Parse()
 
@@ -37,16 +38,19 @@ func main() {
 	}
 
 	build := func(s int64) chaos.Scenario {
+		var sc chaos.Scenario
 		switch *scenario {
 		case "partition-heal":
-			return chaos.PartitionHealScenario(s)
+			sc = chaos.PartitionHealScenario(s)
 		case "":
-			return chaos.Generate(s)
+			sc = chaos.Generate(s)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown scenario %q (have: partition-heal)\n", *scenario)
 			os.Exit(2)
 			panic("unreachable")
 		}
+		sc.Trace = *phases
+		return sc
 	}
 
 	seeds := make([]int64, 0, *scenarios)
@@ -67,6 +71,10 @@ func main() {
 			continue
 		}
 		fmt.Println(rep)
+		if rep.Phases != nil {
+			_ = rep.Phases.WriteTable(os.Stdout)
+			fmt.Println()
+		}
 	}
 
 	if *metrics {

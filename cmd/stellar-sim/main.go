@@ -30,6 +30,8 @@ func main() {
 	archive := flag.String("archive", "", "directory for a history archive (optional)")
 	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
 	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+	decompose := flag.Bool("decompose", false, "print the per-phase latency decomposition table")
 	verbose := flag.Bool("v", false, "structured per-node logging to stderr")
 	flag.Parse()
 
@@ -43,6 +45,7 @@ func main() {
 		ArchiveDir:      *archive,
 		VerifyWorkers:   *verifyWorkers,
 		VerifyCacheSize: *verifyCache,
+		Trace:           *tracePath != "" || *decompose,
 	}
 	if *verbose {
 		root := obs.NewLogger(os.Stderr, slog.LevelDebug)
@@ -100,4 +103,30 @@ func main() {
 	fmt.Printf("  verify cache (validator 0): hits %d  misses %d  hit rate %.1f%%  (%d workers)\n",
 		vs.Hits, vs.Misses, 100*vs.HitRate(), ps.Workers)
 	fmt.Printf("  agreement: all %d validators consistent at every ledger\n", len(s.Nodes))
+
+	if *decompose {
+		d := s.Tracer.Decompose()
+		fmt.Printf("\nlatency decomposition (%d spans", d.Spans())
+		if n := s.Tracer.Dropped(); n > 0 {
+			fmt.Printf(", %d dropped at the span cap", n)
+		}
+		fmt.Println("):")
+		_ = d.WriteTable(os.Stdout)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *tracePath)
+	}
 }

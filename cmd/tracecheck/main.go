@@ -1,0 +1,182 @@
+// Command tracecheck validates a Chrome trace-event JSON file (the
+// Object Format that Perfetto and chrome://tracing load): every event
+// must be well-formed, every span's parent link must resolve, and every
+// flow arrow must have both endpoints. With -lifecycle it additionally
+// requires the full transaction lifecycle of the paper's §6 figures —
+// at least one transaction whose submit → pending → consensus → applied
+// chain, and the slot/balloting/apply phase tree it links to, are all
+// present and parented correctly.
+//
+// Usage:
+//
+//	tracecheck out.json
+//	tracecheck -lifecycle out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"stellar/internal/obs"
+)
+
+// event is one trace-event record; unknown fields are tolerated (the
+// format is extensible) but the known ones are type-checked by decoding.
+type event struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   *float64          `json:"ts"`
+	Dur  *float64          `json:"dur"`
+	Pid  *int              `json:"pid"`
+	Tid  *int              `json:"tid"`
+	Cat  string            `json:"cat"`
+	ID   string            `json:"id"`
+	Args map[string]string `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	lifecycle := flag.Bool("lifecycle", false,
+		"require a complete parent-linked tx lifecycle (submit through archive)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-lifecycle] trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fail("not valid trace JSON: %v", err)
+	}
+
+	spans := 0
+	nameByID := map[string]string{} // span id → name
+	parentOf := map[string]string{} // span id → parent span id
+	flows := map[string][2]int{}    // flow id → {#s, #f}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Name == "" {
+				fail("event %d: X event with no name", i)
+			}
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 || *ev.Ts < 0 {
+				fail("event %d (%s): X event needs ts ≥ 0 and dur ≥ 0", i, ev.Name)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				fail("event %d (%s): X event needs pid and tid", i, ev.Name)
+			}
+			id := ev.Args["id"]
+			if id == "" {
+				fail("event %d (%s): X event has no args.id", i, ev.Name)
+			}
+			if prev, dup := nameByID[id]; dup {
+				fail("event %d (%s): span id %s already used by %q", i, ev.Name, id, prev)
+			}
+			nameByID[id] = ev.Name
+			if p := ev.Args["parent"]; p != "" {
+				parentOf[id] = p
+			}
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				fail("event %d: unknown metadata event %q", i, ev.Name)
+			}
+		case "s", "f":
+			if ev.ID == "" {
+				fail("event %d: flow event with no id", i)
+			}
+			c := flows[ev.ID]
+			if ev.Ph == "s" {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			flows[ev.ID] = c
+		default:
+			fail("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+
+	// Referential integrity: parents resolve, flows are paired.
+	for id, p := range parentOf {
+		if _, ok := nameByID[p]; !ok {
+			fail("span %s (%s): parent %s does not exist", id, nameByID[id], p)
+		}
+	}
+	for id, c := range flows {
+		if c[0] != 1 || c[1] != 1 {
+			fail("flow %s: %d starts and %d finishes, want 1 and 1", id, c[0], c[1])
+		}
+	}
+
+	if *lifecycle {
+		checkLifecycle(nameByID, parentOf)
+	}
+	fmt.Printf("tracecheck: ok — %d spans, %d parent links, %d flows (%d events)\n",
+		spans, len(parentOf), len(flows), len(tf.TraceEvents))
+}
+
+// lifecycleParents maps each lifecycle phase to its required parent span
+// name, mirroring the span tree the herder emits.
+var lifecycleParents = map[string]string{
+	obs.SpanTxSubmit:    obs.SpanTx,
+	obs.SpanTxPending:   obs.SpanTx,
+	obs.SpanTxConsensus: obs.SpanTx,
+	obs.SpanTxApplied:   obs.SpanTx,
+	obs.SpanNomination:  obs.SpanSlot,
+	obs.SpanBalloting:   obs.SpanSlot,
+	obs.SpanApply:       obs.SpanSlot,
+	obs.SpanPrepare:     obs.SpanBalloting,
+	obs.SpanCommit:      obs.SpanBalloting,
+	obs.SpanSigPrepass:  obs.SpanApply,
+	obs.SpanTxApply:     obs.SpanApply,
+	obs.SpanBucketMerge: obs.SpanApply,
+	obs.SpanArchive:     obs.SpanApply,
+}
+
+func checkLifecycle(nameByID, parentOf map[string]string) {
+	count := map[string]int{}
+	for _, name := range nameByID {
+		count[name]++
+	}
+	if count[obs.SpanTx] == 0 {
+		fail("lifecycle: no %q root spans in trace", obs.SpanTx)
+	}
+	if count[obs.SpanSlot] == 0 {
+		fail("lifecycle: no %q spans in trace", obs.SpanSlot)
+	}
+	for phase, wantParent := range lifecycleParents {
+		if count[phase] == 0 {
+			fail("lifecycle: no %q spans in trace", phase)
+		}
+		ok := false
+		for id, name := range nameByID {
+			if name != phase {
+				continue
+			}
+			if p, linked := parentOf[id]; linked && nameByID[p] == wantParent {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			fail("lifecycle: no %q span is parented to a %q span", phase, wantParent)
+		}
+	}
+	fmt.Printf("tracecheck: lifecycle ok — every phase present and parent-linked (%d tx roots, %d slots)\n",
+		count[obs.SpanTx], count[obs.SpanSlot])
+}

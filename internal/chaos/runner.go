@@ -27,6 +27,9 @@ type Report struct {
 	FaultsInjected   int
 	AdversaryPackets uint64
 	NetStats         simnet.Stats
+	// Phases is the per-phase latency decomposition when the scenario ran
+	// with Trace set, nil otherwise.
+	Phases *obs.Decomposition
 }
 
 // String renders the report as one line.
@@ -158,6 +161,7 @@ func NewRunner(sc Scenario, ob *obs.Obs) (*Runner, error) {
 			}
 			return qs
 		},
+		Trace: sc.Trace,
 	}
 	sim, err := experiments.Build(opts)
 	if err != nil {
@@ -335,6 +339,9 @@ func (r *Runner) Run() (*Report, error) {
 	rep.LedgersAfterHeal = after
 	for _, a := range r.Advs {
 		rep.AdversaryPackets += a.Emitted
+	}
+	if r.Sim.Tracer != nil {
+		rep.Phases = r.Sim.Tracer.Decompose()
 	}
 	if r.ins != nil {
 		r.ins.scenarios.With("pass").Inc()

@@ -63,6 +63,9 @@ type Scenario struct {
 	AntiEntropy time.Duration
 	// Replay overrides the replay command printed on failure.
 	Replay string
+	// Trace attaches a causal span tracer to the honest validators; the
+	// report then carries a per-phase latency decomposition (Report.Phases).
+	Trace bool
 }
 
 func (sc *Scenario) defaults() {

@@ -78,6 +78,10 @@ type Options struct {
 	// trace ring, logger) for validator i. nil entries (or a nil func)
 	// leave the node on its silent defaults.
 	Obs func(i int) *obs.Obs
+	// Trace attaches one shared causal span tracer, on the simulation's
+	// virtual clock, to every validator. The recorded spans are exported
+	// through SimNetwork.Tracer (Chrome trace JSON, latency decomposition).
+	Trace bool
 }
 
 func (o *Options) defaults() {
@@ -137,6 +141,9 @@ type SimNetwork struct {
 	Archive   *history.Archive
 	Accounts  []loadgen.Account
 	MasterKey stellarcrypto.KeyPair
+	// Tracer is the shared span tracer when Options.Trace is set, nil
+	// otherwise.
+	Tracer *obs.Tracer
 }
 
 // Build constructs the network: genesis state with synthetic accounts,
@@ -151,6 +158,9 @@ func Build(opts Options) (*SimNetwork, error) {
 		s.Net.SetDropRate(opts.DropRate)
 	}
 	s.NetworkID = stellarcrypto.HashBytes([]byte(fmt.Sprintf("experiment-network-%d", opts.Seed)))
+	if opts.Trace {
+		s.Tracer = obs.NewTracer(s.Net.Now)
+	}
 
 	var arch *history.Archive
 	if opts.ArchiveDir != "" {
@@ -198,6 +208,12 @@ func Build(opts Options) (*SimNetwork, error) {
 		}
 		if opts.Obs != nil {
 			cfg.Obs = opts.Obs(i)
+		}
+		if s.Tracer != nil {
+			if cfg.Obs == nil {
+				cfg.Obs = &obs.Obs{}
+			}
+			cfg.Obs.Tracer = s.Tracer
 		}
 		if arch != nil && i == 0 {
 			cfg.Archive = arch // one archiving validator, as in production

@@ -168,6 +168,7 @@ func (d *driver) StartedBallot(slot uint64, b scp.Ballot) {
 	if !st.sawPrepare {
 		st.sawPrepare = true
 		st.firstPrepareAt = n.net.Now()
+		n.traceFirstPrepare(slot)
 	}
 	n.ins.ballots.Inc()
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvBallotPrepare, Counter: b.Counter})
@@ -176,6 +177,7 @@ func (d *driver) StartedBallot(slot uint64, b scp.Ballot) {
 // AcceptedCommit marks the point after which the slot's value is fixed.
 func (d *driver) AcceptedCommit(slot uint64, b scp.Ballot) {
 	n := d.node()
+	n.traceAcceptCommit(slot)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvAcceptCommit, Counter: b.Counter})
 	n.log.Debug("accepted commit", "slot", slot, "counter", b.Counter)
 }

@@ -1,0 +1,256 @@
+package herder
+
+import (
+	"sort"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/obs"
+	"stellar/internal/scp"
+)
+
+// Live quorum-health monitoring (the operational signal stellar-core
+// exposes through its quorum info endpoint): which validators this node's
+// quorum set actually depends on, how far behind each one is, and whether
+// the unhealthy subset could block progress. Evidence comes from received
+// SCP envelopes — a validator is only as alive as its last statement.
+
+// behindLedgers is how many ledgers behind a peer may be before it
+// counts as "behind" (one in-flight slot is normal).
+const behindLedgers = 2
+
+// silentIntervals is how many ledger intervals of silence make a peer
+// "silent" (flooding means any live peer speaks every slot).
+const silentIntervals = 2
+
+// peerStatus is the per-validator evidence extracted from envelopes.
+type peerStatus struct {
+	lastSlot   uint64        // highest slot referenced by any envelope
+	lastClosed uint64        // highest ledger the peer provably closed
+	lastHeard  time.Duration // node-clock time of the last envelope
+}
+
+// noteEnvelope folds one received envelope into the health table. An
+// externalize statement proves the peer closed that slot; any other
+// statement proves it closed the slot before (it is still deciding this
+// one). Runs on every envelope, before staleness filtering.
+func (n *Node) noteEnvelope(env *scp.Envelope) {
+	ps := n.peersHealth[env.Node]
+	if ps == nil {
+		ps = &peerStatus{}
+		n.peersHealth[env.Node] = ps
+	}
+	ps.lastHeard = n.net.Now()
+	if env.Slot > ps.lastSlot {
+		ps.lastSlot = env.Slot
+	}
+	closed := env.Slot - 1
+	if env.Statement.Type == scp.StmtExternalize {
+		closed = env.Slot
+	}
+	if closed > ps.lastClosed {
+		ps.lastClosed = closed
+	}
+}
+
+// NodeHealth is one tracked validator's view in the quorum report.
+type NodeHealth struct {
+	Node       fba.NodeID    `json:"node"`
+	LastSlot   uint64        `json:"last_slot"`   // newest slot it spoke about
+	LastClosed uint64        `json:"last_closed"` // newest ledger it provably closed
+	Lag        int64         `json:"lag"`         // our seq minus its last closed
+	HeardAgo   time.Duration `json:"heard_ago_ns"`
+	Missing    bool          `json:"missing"` // never heard from
+	Behind     bool          `json:"behind"`  // lag ≥ behindLedgers
+	Silent     bool          `json:"silent"`  // no envelope for silentIntervals
+}
+
+// Healthy reports whether the validator counts toward quorum availability.
+func (h *NodeHealth) Healthy() bool { return !h.Missing && !h.Behind && !h.Silent }
+
+// SliceHealth summarizes one level of the quorum-set tree: how many of
+// its members (validators or inner sets) are currently usable against its
+// threshold.
+type SliceHealth struct {
+	Threshold int  `json:"threshold"`
+	Size      int  `json:"size"`
+	Healthy   int  `json:"healthy"`
+	Satisfied bool `json:"satisfied"` // healthy ≥ threshold
+}
+
+// QuorumHealthReport is the GET /debug/quorum payload.
+type QuorumHealthReport struct {
+	Self     fba.NodeID    `json:"self"`
+	LocalSeq uint32        `json:"local_seq"`
+	Now      time.Duration `json:"now_ns"`
+	// Nodes covers every member of the (transitive) quorum set except
+	// self, sorted by ID.
+	Nodes []NodeHealth `json:"nodes"`
+	// MissingOrBehind lists the unhealthy validators by ID.
+	MissingOrBehind []fba.NodeID `json:"missing_or_behind"`
+	// Slices breaks health down per quorum-set level: index 0 is the top
+	// slice, the rest are inner sets in declaration order.
+	Slices []SliceHealth `json:"slices"`
+	// VBlockingAtRisk is true when the unhealthy set is v-blocking for
+	// this node: those validators together can prevent it from accepting
+	// or confirming anything (paper §4.3).
+	VBlockingAtRisk bool `json:"v_blocking_at_risk"`
+	// QuorumAvailable is true when the healthy validators (plus self)
+	// still satisfy a quorum slice — progress remains possible.
+	QuorumAvailable bool `json:"quorum_available"`
+}
+
+// QuorumHealth computes the live quorum report from envelope evidence.
+// Call with the node's event context held (horizon takes the sim lock).
+func (n *Node) QuorumHealth() *QuorumHealthReport {
+	rep := &QuorumHealthReport{Self: n.id, Now: n.net.Now()}
+	if n.last != nil {
+		rep.LocalSeq = n.last.LedgerSeq
+	}
+	silentAfter := time.Duration(silentIntervals) * n.cfg.LedgerInterval
+
+	members := n.cfg.QSet.Members()
+	ids := make([]fba.NodeID, 0, len(members))
+	for id := range members {
+		if id != n.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	healthy := map[fba.NodeID]bool{n.id: true} // self is trivially healthy
+	for _, id := range ids {
+		h := NodeHealth{Node: id}
+		if ps := n.peersHealth[id]; ps == nil {
+			h.Missing = true
+		} else {
+			h.LastSlot = ps.lastSlot
+			h.LastClosed = ps.lastClosed
+			h.Lag = int64(rep.LocalSeq) - int64(ps.lastClosed)
+			h.HeardAgo = rep.Now - ps.lastHeard
+			h.Behind = h.Lag >= behindLedgers
+			h.Silent = h.HeardAgo > silentAfter
+		}
+		if h.Healthy() {
+			healthy[id] = true
+		} else {
+			rep.MissingOrBehind = append(rep.MissingOrBehind, id)
+		}
+		rep.Nodes = append(rep.Nodes, h)
+	}
+
+	isHealthy := func(id fba.NodeID) bool { return healthy[id] }
+	rep.Slices = sliceHealth(&n.cfg.QSet, isHealthy)
+	rep.VBlockingAtRisk = n.cfg.QSet.BlockedByFunc(func(id fba.NodeID) bool {
+		return !healthy[id]
+	})
+	rep.QuorumAvailable = n.cfg.QSet.SatisfiedByFunc(isHealthy)
+	return rep
+}
+
+// sliceHealth summarizes the top slice and each inner set against the
+// currently healthy validators.
+func sliceHealth(q *fba.QuorumSet, isHealthy func(fba.NodeID) bool) []SliceHealth {
+	var out []SliceHealth
+	var walk func(q *fba.QuorumSet) bool
+	walk = func(q *fba.QuorumSet) bool {
+		sh := SliceHealth{Threshold: q.Threshold, Size: q.Size()}
+		idx := len(out)
+		out = append(out, sh)
+		for _, v := range q.Validators {
+			if isHealthy(v) {
+				sh.Healthy++
+			}
+		}
+		for i := range q.InnerSets {
+			if walk(&q.InnerSets[i]) {
+				sh.Healthy++
+			}
+		}
+		sh.Satisfied = sh.Healthy >= sh.Threshold
+		out[idx] = sh
+		return sh.Satisfied
+	}
+	walk(q)
+	return out
+}
+
+// healthInstruments are the quorum_* gauges, refreshed at every ledger
+// close and on each registry scrape.
+type healthInstruments struct {
+	tracked   *obs.Gauge
+	behind    *obs.Gauge
+	missing   *obs.Gauge
+	silent    *obs.Gauge
+	vblocked  *obs.Gauge
+	available *obs.Gauge
+	lag       *obs.GaugeVec
+	heardAge  *obs.GaugeVec
+}
+
+// initHealthGauges registers the quorum_* series and hooks a refresh into
+// registry scrapes, so /metrics reflects current health even between
+// ledger closes.
+func (n *Node) initHealthGauges() {
+	reg := n.obs.Reg
+	n.health = &healthInstruments{
+		tracked: reg.Gauge("quorum_tracked_nodes",
+			"validators in the transitive quorum set, excluding self"),
+		behind: reg.Gauge("quorum_behind_total",
+			"tracked validators lagging 2+ ledgers behind"),
+		missing: reg.Gauge("quorum_missing_total",
+			"tracked validators never heard from"),
+		silent: reg.Gauge("quorum_silent_total",
+			"tracked validators silent for 2+ ledger intervals"),
+		vblocked: reg.Gauge("quorum_vblocking_at_risk",
+			"1 when the unhealthy validators form a v-blocking set"),
+		available: reg.Gauge("quorum_available",
+			"1 when healthy validators still satisfy a quorum slice"),
+		lag: reg.GaugeVec("quorum_node_lag",
+			"ledgers each tracked validator trails the local node", "node"),
+		heardAge: reg.GaugeVec("quorum_heard_age_seconds",
+			"virtual seconds since each tracked validator was heard", "node"),
+	}
+}
+
+// updateQuorumGauges recomputes the report and publishes it as gauges.
+func (n *Node) updateQuorumGauges() { _ = n.RefreshQuorumHealth() }
+
+// RefreshQuorumHealth computes the quorum report and publishes the
+// quorum_* gauges in one step — the horizon /debug/quorum handler serves
+// its return value, so the endpoint and /metrics always agree.
+func (n *Node) RefreshQuorumHealth() *QuorumHealthReport {
+	if n.health == nil || n.state == nil {
+		return nil
+	}
+	rep := n.QuorumHealth()
+	var behind, missing, silent float64
+	for _, h := range rep.Nodes {
+		if h.Behind {
+			behind++
+		}
+		if h.Missing {
+			missing++
+		}
+		if h.Silent {
+			silent++
+		}
+		id := shortID(string(h.Node))
+		n.health.lag.With(id).Set(float64(h.Lag))
+		n.health.heardAge.With(id).Set(h.HeardAgo.Seconds())
+	}
+	n.health.tracked.Set(float64(len(rep.Nodes)))
+	n.health.behind.Set(behind)
+	n.health.missing.Set(missing)
+	n.health.silent.Set(silent)
+	n.health.vblocked.Set(boolGauge(rep.VBlockingAtRisk))
+	n.health.available.Set(boolGauge(rep.QuorumAvailable))
+	return rep
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

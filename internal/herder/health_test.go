@@ -1,0 +1,148 @@
+package herder
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+)
+
+func healthByNode(rep *QuorumHealthReport) map[fba.NodeID]NodeHealth {
+	m := make(map[fba.NodeID]NodeHealth, len(rep.Nodes))
+	for _, h := range rep.Nodes {
+		m[h.Node] = h
+	}
+	return m
+}
+
+func TestQuorumHealthAllLive(t *testing.T) {
+	net, nodes, _ := buildPair(t, nil)
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunFor(10 * time.Second)
+
+	rep := nodes[0].QuorumHealth()
+	if rep.Self != nodes[0].ID() {
+		t.Fatalf("self = %v", rep.Self)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("tracked %d nodes, want 2 (qset minus self)", len(rep.Nodes))
+	}
+	for _, h := range rep.Nodes {
+		if h.Missing || h.Silent {
+			t.Fatalf("live peer reported unhealthy: %+v", h)
+		}
+		if h.Behind {
+			t.Fatalf("live peer reported behind: %+v", h)
+		}
+		if h.LastClosed == 0 {
+			t.Fatalf("no closed-ledger evidence for %v", h.Node)
+		}
+	}
+	if len(rep.MissingOrBehind) != 0 {
+		t.Fatalf("missing_or_behind = %v on a healthy cluster", rep.MissingOrBehind)
+	}
+	if rep.VBlockingAtRisk {
+		t.Fatal("healthy cluster reported v-blocking risk")
+	}
+	if !rep.QuorumAvailable {
+		t.Fatal("healthy cluster reported quorum unavailable")
+	}
+	if len(rep.Slices) == 0 || !rep.Slices[0].Satisfied {
+		t.Fatalf("top slice unsatisfied: %+v", rep.Slices)
+	}
+}
+
+func TestQuorumHealthDetectsDownedPeer(t *testing.T) {
+	net, nodes, _ := buildPair(t, nil)
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunFor(10 * time.Second)
+
+	// Kill node 2; the remaining majority keeps closing ledgers while its
+	// health degrades in node 0's view.
+	net.SetDown(nodes[2].Addr())
+	net.RunFor(15 * time.Second)
+
+	rep := nodes[0].QuorumHealth()
+	byNode := healthByNode(rep)
+	down := byNode[nodes[2].ID()]
+	if !down.Silent {
+		t.Fatalf("downed peer not silent: %+v (now %v)", down, rep.Now)
+	}
+	if !down.Behind {
+		t.Fatalf("downed peer not behind: %+v (local seq %d)", down, rep.LocalSeq)
+	}
+	if len(rep.MissingOrBehind) != 1 || rep.MissingOrBehind[0] != nodes[2].ID() {
+		t.Fatalf("missing_or_behind = %v", rep.MissingOrBehind)
+	}
+	// One of three majority-quorum validators down: quorum still
+	// available, and no single node is v-blocking.
+	if !rep.QuorumAvailable {
+		t.Fatal("quorum reported unavailable with 2/3 live")
+	}
+	if rep.VBlockingAtRisk {
+		t.Fatal("one downed node of three reported as v-blocking")
+	}
+	live := byNode[nodes[1].ID()]
+	if !live.Healthy() {
+		t.Fatalf("live peer unhealthy: %+v", live)
+	}
+
+	// Two of three down: the unhealthy set becomes v-blocking and no
+	// quorum slice survives.
+	net.SetDown(nodes[1].Addr())
+	net.RunFor(15 * time.Second)
+	rep = nodes[0].QuorumHealth()
+	if !rep.VBlockingAtRisk {
+		t.Fatal("two downed nodes of three not reported v-blocking")
+	}
+	if rep.QuorumAvailable {
+		t.Fatal("quorum reported available with majority down")
+	}
+}
+
+func TestQuorumHealthNeverHeard(t *testing.T) {
+	// Before any traffic, both peers are missing and quorum is at risk.
+	_, nodes, _ := buildPair(t, nil)
+	rep := nodes[0].QuorumHealth()
+	for _, h := range rep.Nodes {
+		if !h.Missing {
+			t.Fatalf("peer not reported missing before any envelope: %+v", h)
+		}
+	}
+	if !rep.VBlockingAtRisk || rep.QuorumAvailable {
+		t.Fatalf("silent network health wrong: vblock=%v avail=%v",
+			rep.VBlockingAtRisk, rep.QuorumAvailable)
+	}
+}
+
+func TestQuorumGaugesPublished(t *testing.T) {
+	net, nodes, _ := buildPair(t, nil)
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunFor(10 * time.Second)
+
+	vals := map[string]float64{}
+	for _, fs := range nodes[0].Obs().Reg.Snapshot() {
+		if len(fs.Samples) == 1 && len(fs.Samples[0].LabelValues) == 0 {
+			vals[fs.Name] = fs.Samples[0].Value
+		}
+	}
+	if vals["quorum_tracked_nodes"] != 2 {
+		t.Fatalf("quorum_tracked_nodes = %v, want 2", vals["quorum_tracked_nodes"])
+	}
+	if vals["quorum_available"] != 1 {
+		t.Fatalf("quorum_available = %v, want 1", vals["quorum_available"])
+	}
+	if vals["quorum_vblocking_at_risk"] != 0 {
+		t.Fatalf("quorum_vblocking_at_risk = %v, want 0", vals["quorum_vblocking_at_risk"])
+	}
+	if vals["quorum_behind_total"] != 0 || vals["quorum_missing_total"] != 0 {
+		t.Fatalf("behind/missing = %v/%v, want 0/0",
+			vals["quorum_behind_total"], vals["quorum_missing_total"])
+	}
+}

@@ -112,6 +112,18 @@ type Node struct {
 	slotStats    map[uint64]*slotStat
 	upgradeStats map[UpgradeKind]int64
 
+	// Causal span tracing (span.go). tr is nil when tracing is off; the
+	// maps exist only alongside it.
+	tr      *obs.Proc
+	spans   map[uint64]*slotSpans
+	txTrace map[stellarcrypto.Hash]*txTrace
+
+	// peersHealth tracks per-validator liveness evidence from received
+	// SCP envelopes (health.go, GET /debug/quorum); health holds the
+	// derived quorum_* gauges.
+	peersHealth map[fba.NodeID]*peerStatus
+	health      *healthInstruments
+
 	// OnLedgerClose, when set, is invoked after each ledger applies.
 	OnLedgerClose func(h *ledger.Header, results []ledger.TxResult)
 }
@@ -160,7 +172,10 @@ func New(net *simnet.Network, cfg Config) (*Node, error) {
 		Metrics:      &metrics.NodeMetrics{},
 		slotStats:    make(map[uint64]*slotStat),
 		upgradeStats: make(map[UpgradeKind]int64),
+		peersHealth:  make(map[fba.NodeID]*peerStatus),
 	}
+	n.initTracer()
+	n.initHealthGauges()
 	n.verifier = verify.New(cfg.VerifyWorkers, cfg.VerifyCacheSize)
 	n.verifier.SetObs(ob.Reg)
 	n.ov = overlay.New(net, n.addr, cfg.NetworkID, cfg.OverlayCacheSize)
@@ -256,6 +271,7 @@ func (n *Node) SubmitTx(tx *ledger.Transaction) error {
 		return fmt.Errorf("herder: transaction fails basic checks")
 	}
 	n.pending[h] = tx
+	n.traceSubmitTx(h)
 	n.ins.pendingTxs.Set(float64(len(n.pending)))
 	n.ov.BroadcastTx(tx)
 	return nil
@@ -300,6 +316,10 @@ func (n *Node) onEnvelope(env *scp.Envelope) {
 		return
 	}
 	n.ins.envReceived.With(stmtLabel(env.Statement.Type)).Inc()
+	// Health evidence must be taken from every envelope — a peer stuck
+	// replaying old slots is exactly what /debug/quorum reports — so this
+	// runs before the staleness cut below.
+	n.noteEnvelope(env)
 	// Ignore slots already closed; stale envelopes cannot help.
 	if env.Slot <= uint64(n.last.LedgerSeq) {
 		return
@@ -353,6 +373,7 @@ func (n *Node) triggerNextLedger() {
 	}
 	stat := n.stat(slot)
 	stat.nominateAt = n.net.Now()
+	n.traceTriggerSlot(slot, candidates)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvNominationStart,
 		Detail: fmt.Sprintf("txs=%d", len(candidates))})
 	n.log.Debug("trigger ledger", "slot", slot, "txs", len(candidates), "close_time", closeTime)
@@ -389,6 +410,7 @@ func (n *Node) onExternalized(slot uint64, raw scp.Value) {
 	}
 	n.decided[slot] = sv
 	n.ins.externals.Inc()
+	n.traceExternalized(slot)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvExternalize})
 	n.log.Debug("externalized", "slot", slot, "close_time", sv.CloseTime)
 	// Defer application so it runs outside SCP's call stack.
@@ -424,6 +446,7 @@ func (n *Node) tryApplyDecided() {
 // updates the bucket list, chains the header, and archives (§5.1–§5.4).
 func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 	applyStart := time.Now() // real time: ledger update is real compute
+	applySpan := n.traceApplyStart(slot)
 
 	env := &ledger.ApplyEnv{LedgerSeq: uint32(slot), CloseTime: sv.CloseTime}
 	results, resultsHash := n.state.ApplyTxSet(ts, n.cfg.NetworkID, env)
@@ -434,8 +457,10 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 	}
 
 	// Update the bucket list with the entries this ledger changed.
+	mergeStart := time.Now()
 	changed := n.state.TakeDirtySnapshot()
 	n.buckets.AddBatch(uint32(slot), changed)
+	applySpan.CompleteChild(obs.SpanBucketMerge, time.Since(mergeStart))
 
 	hdr := ledger.NextHeader(n.last, n.last.Hash())
 	hdr.SCPValueHash = stellarcrypto.HashBytes(sv.Encode())
@@ -476,6 +501,7 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 		n.Metrics.MessagesEmitted.Add(st.emitted)
 		delete(n.slotStats, slot)
 	}
+	n.traceTxsApplied(slot, applySpan, ts, applyDur)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvLedgerApplied,
 		Detail: fmt.Sprintf("txs=%d apply=%s", len(ts.Txs), applyDur)})
 	n.log.Info("ledger closed", "seq", hdr.LedgerSeq, "txs", len(ts.Txs),
@@ -496,6 +522,7 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 	for h, tx := range n.pending {
 		if acct := n.state.Account(tx.Source); acct == nil || tx.SeqNum <= acct.SeqNum {
 			delete(n.pending, h)
+			n.traceEvictTx(h)
 		}
 	}
 	n.ins.pendingTxs.Set(float64(len(n.pending)))
@@ -521,8 +548,14 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 
 	// Archive (§5.4).
 	if n.cfg.Archive != nil {
+		archStart := time.Now()
 		n.archiveLedger(hdr, ts)
+		applySpan.CompleteChild(obs.SpanArchive, time.Since(archStart))
 	}
+	n.traceApplyEnd(slot, applySpan)
+
+	// Refresh quorum-health gauges at the close boundary (health.go).
+	n.updateQuorumGauges()
 
 	// Garbage-collect consensus state for closed slots.
 	n.scp.PurgeBelow(slot)

@@ -33,7 +33,11 @@ type Server struct {
 	Net  *simnet.Network
 
 	NetworkID stellarcrypto.Hash
-	archive   *history.Archive
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and cost CPU, so the
+	// operator opts in per process (horizon-demo -pprof).
+	EnablePprof bool
+	archive     *history.Archive
 
 	httpReqs *obs.CounterVec   // horizon_http_requests_total{route,code}
 	httpLat  *obs.HistogramVec // horizon_http_request_seconds{route}
@@ -57,8 +61,12 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "GET /metrics", s.handlePromMetrics)
 	s.handle(mux, "GET /metrics.json", s.handleMetricsJSON)
 	s.handle(mux, "GET /debug/slots/{seq}/trace", s.handleSlotTrace)
+	s.handle(mux, "GET /debug/quorum", s.handleQuorum)
 	s.handle(mux, "POST /transactions", s.handleSubmit)
 	s.registerHistory(mux)
+	if s.EnablePprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 

@@ -2,6 +2,7 @@ package horizon
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -129,6 +130,32 @@ func (s *Server) handleSlotTrace(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleQuorum serves the live quorum-health report (tentpole: per-node
+// externalization lag, missing/behind validators per slice, and whether
+// the unhealthy set is v-blocking). Refreshing through the node also
+// republishes the quorum_* gauges, so /metrics and this endpoint agree.
+func (s *Server) handleQuorum(w http.ResponseWriter, r *http.Request) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	rep := s.Node.RefreshQuorumHealth()
+	if rep == nil {
+		writeError(w, http.StatusServiceUnavailable, "node not bootstrapped")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// registerPprof mounts the standard profiling handlers. They bypass the
+// metrics middleware on purpose: profile downloads can run for tens of
+// seconds and would distort the latency histograms.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // newHTTPInstruments resolves the middleware's registry series.

@@ -2,14 +2,18 @@ package horizon
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"sort"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"stellar/internal/herder"
 )
 
 // promFamily is one parsed metric family from the text exposition.
@@ -294,5 +298,124 @@ func TestSlotTraceEndpoint(t *testing.T) {
 	}
 	if code := f.get("/debug/slots/bogus/trace", nil); code != 400 {
 		t.Fatalf("malformed slot status %d", code)
+	}
+}
+
+// getErrorBody fetches a path expected to fail and returns the status,
+// content type, and decoded JSON error body.
+func getErrorBody(t *testing.T, f *fixture, path string) (int, string, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(f.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: error body is not JSON: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func TestSlotTraceNotFoundJSONBody(t *testing.T) {
+	f := newFixture(t)
+	// A slot far beyond anything externalized has no timeline: the handler
+	// must answer 404 with a JSON error object, not an empty 200.
+	code, ct, body := getErrorBody(t, f, "/debug/slots/999999/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	msg, ok := body["error"]
+	if !ok || msg == "" {
+		t.Fatalf("missing error field: %v", body)
+	}
+	if !strings.Contains(msg, "999999") {
+		t.Fatalf("error %q does not name the slot", msg)
+	}
+}
+
+func TestSlotTraceBadSeqJSONBody(t *testing.T) {
+	f := newFixture(t)
+	for _, seq := range []string{"bogus", "-1", "1.5", "0x10"} {
+		code, ct, body := getErrorBody(t, f, "/debug/slots/"+seq+"/trace")
+		if code != http.StatusBadRequest {
+			t.Fatalf("seq %q: status %d, want 400", seq, code)
+		}
+		if !strings.Contains(ct, "application/json") {
+			t.Fatalf("seq %q: content type %q", seq, ct)
+		}
+		msg, ok := body["error"]
+		if !ok || msg == "" {
+			t.Fatalf("seq %q: missing error field: %v", seq, body)
+		}
+		if !strings.Contains(msg, seq) {
+			t.Fatalf("seq %q: error %q does not echo the input", seq, msg)
+		}
+	}
+}
+
+func TestQuorumEndpoint(t *testing.T) {
+	f := newFixture(t)
+	var rep herder.QuorumHealthReport
+	if code := f.get("/debug/quorum", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// Single-validator fixture: nothing tracked beyond self, quorum
+	// trivially available, nothing v-blocking.
+	if rep.Self != f.node.ID() {
+		t.Fatalf("self = %v, want %v", rep.Self, f.node.ID())
+	}
+	if rep.LocalSeq < 2 {
+		t.Fatalf("local_seq = %d, fixture should have closed ledgers", rep.LocalSeq)
+	}
+	if len(rep.Nodes) != 0 || len(rep.MissingOrBehind) != 0 {
+		t.Fatalf("self-quorum tracked peers: %+v", rep)
+	}
+	if !rep.QuorumAvailable || rep.VBlockingAtRisk {
+		t.Fatalf("self-quorum health wrong: %+v", rep)
+	}
+	if len(rep.Slices) == 0 || !rep.Slices[0].Satisfied {
+		t.Fatalf("top slice unsatisfied: %+v", rep.Slices)
+	}
+
+	// Hitting the endpoint republishes the quorum_* gauges.
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams := parsePrometheus(t, resp.Body)
+	avail := fams["quorum_available"]
+	if avail == nil {
+		t.Fatal("quorum_available gauge not exported")
+	}
+	if v := avail.samples["quorum_available"]; v != 1 {
+		t.Fatalf("quorum_available = %v, want 1", v)
+	}
+}
+
+func TestPprofBehindFlag(t *testing.T) {
+	// Default: profiling routes are absent.
+	f := newFixture(t)
+	if code := f.get("/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Fatalf("pprof mounted without flag: status %d", code)
+	}
+
+	// With the flag, the index and cmdline endpoints answer.
+	f.srv.EnablePprof = true
+	ts := httptest.NewServer(f.srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"stellar/internal/obs"
 	"stellar/internal/stellarcrypto"
 	"stellar/internal/xdr"
 )
@@ -205,11 +206,15 @@ func (st *State) VerifyTxSetSignatures(txs []*Transaction, networkID stellarcryp
 func (st *State) ApplyTxSet(ts *TxSet, networkID stellarcrypto.Hash, env *ApplyEnv) ([]TxResult, stellarcrypto.Hash) {
 	start := time.Now()
 	txs := ts.SortForApply(networkID)
+	prepassStart := time.Now()
 	st.VerifyTxSetSignatures(txs, networkID)
+	st.traceSpan.CompleteChild(obs.SpanSigPrepass, time.Since(prepassStart))
+	loopStart := time.Now()
 	results := make([]TxResult, 0, len(txs))
 	for _, tx := range txs {
 		results = append(results, st.ApplyTransaction(tx, networkID, env))
 	}
+	st.traceSpan.CompleteChild(obs.SpanTxApply, time.Since(loopStart))
 	st.observeApply(start, results)
 	if st.verifier != nil {
 		// Fold cache/pool deltas into the metric registry once per

@@ -14,6 +14,12 @@ type ledgerInstruments struct {
 	txApplied    *obs.CounterVec // ledger_txs_applied_total{result}
 }
 
+// SetTraceSpan points the apply path at the current ledger's trace span;
+// ApplyTxSet records its signature prepass and sequential apply loop as
+// wall-clock-measured children of it. The herder sets it just before each
+// close and clears it after; nil (the default) disables span recording.
+func (st *State) SetTraceSpan(sp *obs.Span) { st.traceSpan = sp }
+
 // SetObs wires the state's apply metrics into the registry; nil detaches.
 func (st *State) SetObs(reg *obs.Registry) {
 	if reg == nil {

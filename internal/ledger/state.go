@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stellar/internal/obs"
 	"stellar/internal/stellarcrypto"
 	"stellar/internal/verify"
 )
@@ -40,6 +41,10 @@ type State struct {
 
 	// ins holds the optional apply-path metrics (SetObs).
 	ins *ledgerInstruments
+
+	// traceSpan, when set, is the current ledger's apply span
+	// (SetTraceSpan); ApplyTxSet hangs measured phase children off it.
+	traceSpan *obs.Span
 
 	// verifier, when set, routes signature checks through the shared
 	// verification cache and enables the parallel prepass in ApplyTxSet.

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildConsensusTrace records nSlots slots with fixed nomination and
+// balloting durations so decomposition numbers are exact.
+func buildConsensusTrace(t *testing.T, nSlots int, nom, bal time.Duration) *Tracer {
+	t.Helper()
+	tr, clk := newTestTracer()
+	p := tr.Proc("node")
+	for i := 0; i < nSlots; i++ {
+		slot := p.Span("consensus", SpanSlot)
+		n := slot.Child(SpanNomination)
+		clk.Advance(nom)
+		n.End()
+		b := slot.Child(SpanBalloting)
+		clk.Advance(bal)
+		b.End()
+		slot.End()
+	}
+	return tr
+}
+
+func TestDecomposeStats(t *testing.T) {
+	tr := buildConsensusTrace(t, 10, 200*time.Millisecond, 800*time.Millisecond)
+	d := tr.Decompose()
+
+	nom := d.Phase(SpanNomination)
+	if nom.Count != 10 || nom.Mean != 200*time.Millisecond || nom.P50 != 200*time.Millisecond {
+		t.Fatalf("nomination stats = %+v", nom)
+	}
+	bal := d.Phase(SpanBalloting)
+	if bal.Count != 10 || bal.Total != 8*time.Second || bal.Max != 800*time.Millisecond {
+		t.Fatalf("balloting stats = %+v", bal)
+	}
+	slot := d.Phase(SpanSlot)
+	if slot.Mean != time.Second {
+		t.Fatalf("slot mean = %v, want 1s", slot.Mean)
+	}
+	if got := d.Phase("no-such-phase"); got.Count != 0 {
+		t.Fatalf("absent phase = %+v", got)
+	}
+}
+
+func TestDecomposeQuantiles(t *testing.T) {
+	tr, clk := newTestTracer()
+	p := tr.Proc("n")
+	// 100 spans of 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		s := p.Span("t", "work")
+		clk.Advance(time.Duration(i) * time.Millisecond)
+		s.End()
+	}
+	d := tr.Decompose()
+	w := d.Phase("work")
+	if w.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", w.P50)
+	}
+	if w.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", w.P99)
+	}
+	if w.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v, want 100ms", w.Max)
+	}
+}
+
+func TestDecomposeExcludesOpenSpans(t *testing.T) {
+	tr, clk := newTestTracer()
+	p := tr.Proc("n")
+	done := p.Span("t", "work")
+	clk.Advance(time.Second)
+	done.End()
+	p.Span("t", "work") // never ended
+	d := tr.Decompose()
+	if got := d.Phase("work").Count; got != 1 {
+		t.Fatalf("count = %d, want 1 (open span must be excluded)", got)
+	}
+}
+
+func TestBallotingShare(t *testing.T) {
+	tr := buildConsensusTrace(t, 5, 200*time.Millisecond, 800*time.Millisecond)
+	share, ok := tr.Decompose().BallotingShare()
+	if !ok {
+		t.Fatal("no consensus data reported")
+	}
+	if share < 0.79 || share > 0.81 {
+		t.Fatalf("balloting share = %v, want 0.8", share)
+	}
+	// No consensus spans → not ok.
+	empty, _ := newTestTracer()
+	if _, ok := empty.Decompose().BallotingShare(); ok {
+		t.Fatal("empty trace reported a balloting share")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tr := buildConsensusTrace(t, 3, 100*time.Millisecond, 900*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.Decompose().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase", SpanNomination, SpanBalloting, SpanSlot, "balloting 90.0%", "dominates"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Lifecycle ordering: slot before nomination before balloting rows.
+	if strings.Index(out, SpanSlot+" ") > strings.Index(out, SpanNomination+" ") {
+		t.Fatalf("rows out of lifecycle order:\n%s", out)
+	}
+
+	// Empty decomposition renders a placeholder, not a panic.
+	var empty bytes.Buffer
+	tr2, _ := newTestTracer()
+	if err := tr2.Decompose().WriteTable(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no completed spans") {
+		t.Fatalf("empty table output: %q", empty.String())
+	}
+}
+
+func TestNilTracerDecompose(t *testing.T) {
+	var tr *Tracer
+	d := tr.Decompose()
+	if len(d.Phases) != 0 {
+		t.Fatalf("nil tracer phases = %v", d.Phases)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

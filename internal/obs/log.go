@@ -35,12 +35,15 @@ func Component(l *slog.Logger, name string) *slog.Logger {
 }
 
 // Obs bundles the per-node observability facilities: the metric registry,
-// the protocol trace recorder, and the root logger. Every field is always
-// non-nil after New.
+// the protocol trace recorder, the root logger, and (optionally) the
+// causal span tracer. Reg/Trace/Log are always non-nil after New;
+// Tracer stays nil unless explicitly enabled — nil is the documented
+// zero-overhead "tracing off" state, so Normalize never fills it.
 type Obs struct {
-	Reg   *Registry
-	Trace *Recorder
-	Log   *slog.Logger
+	Reg    *Registry
+	Trace  *Recorder
+	Log    *slog.Logger
+	Tracer *Tracer
 }
 
 // New creates a default bundle: fresh registry, default-capacity trace

@@ -52,6 +52,7 @@ func (k MetricKind) String() string {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+	hooks    []func()
 }
 
 // family is one named metric: its metadata plus a child per label-value
@@ -304,9 +305,27 @@ type FamilySnapshot struct {
 	Samples []Sample
 }
 
+// AddScrapeHook registers fn to run at the start of every Snapshot (and
+// hence every WritePrometheus scrape), before any lock is taken for the
+// copy. Hooks refresh pull-style gauges — runtime self-metrics, quorum
+// health — so scraped values are current without a background poller.
+func (r *Registry) AddScrapeHook(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 // Snapshot copies every family, sorted by name with samples sorted by
 // label values, so output is deterministic.
 func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.RUnlock()
+	// Outside the lock: hooks typically set gauges on this registry.
+	for _, fn := range hooks {
+		fn()
+	}
+
 	r.mu.RLock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
