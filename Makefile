@@ -10,7 +10,10 @@ FUZZTIME ?= 30s
 # TRACE_OUT is where trace-smoke writes its Chrome trace artifact.
 TRACE_OUT ?= trace-smoke.json
 
-.PHONY: all build test race vet fmt check bench bench-smoke trace-smoke fuzz chaos soak
+# NODE_SMOKE_DIR is where node-smoke writes the per-node logs CI uploads.
+NODE_SMOKE_DIR ?= node-smoke-logs
+
+.PHONY: all build test race vet fmt check bench bench-smoke trace-smoke fuzz chaos soak node-smoke
 
 all: check
 
@@ -60,6 +63,13 @@ fuzz:
 	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzTxDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzQuorumSetDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ledger/ -run '^$$' -fuzz '^FuzzCheckSignatures$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME)
+
+# node-smoke boots a 3-process TCP quorum (cmd/stellar-node), waits for
+# ledger 20 on every node, and cross-checks header hashes over HTTP;
+# logs land in $(NODE_SMOKE_DIR) for CI artifact upload.
+node-smoke:
+	NODE_SMOKE_DIR=$(NODE_SMOKE_DIR) ./scripts/node-smoke.sh
 
 # chaos runs the fault-injection acceptance scenarios (partition +
 # Byzantine equivocators + heal across 20 seeds, plus the soak sweep).

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -28,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"stellar/internal/cliutil"
 	"stellar/internal/fba"
 	"stellar/internal/herder"
 	"stellar/internal/horizon"
@@ -41,11 +44,10 @@ func main() {
 	listen := flag.String("listen", ":8000", "HTTP listen address")
 	validators := flag.Int("validators", 1, "number of validator nodes (majority quorum)")
 	interval := flag.Duration("interval", 5*time.Second, "ledger interval")
-	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
-	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
-	tracePath := flag.String("trace", "", "record spans on the wall clock; write Chrome trace JSON here on SIGINT/SIGTERM")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	verbose := flag.Bool("v", false, "structured node logging to stderr")
+	var common cliutil.CommonFlags
+	common.Register(flag.CommandLine)
 	flag.Parse()
 	if *validators < 1 {
 		fmt.Fprintln(os.Stderr, "error: -validators must be at least 1")
@@ -59,7 +61,7 @@ func main() {
 	// Demo processes serve real traffic, so spans run on the wall clock
 	// (the simulation below is driven in near-real-time anyway).
 	var tracer *obs.Tracer
-	if *tracePath != "" {
+	if common.Tracing() {
 		tracer = obs.NewTracer(nil)
 	}
 
@@ -97,8 +99,8 @@ func main() {
 			QSet:            qset,
 			NetworkID:       networkID,
 			LedgerInterval:  *interval,
-			VerifyWorkers:   *verifyWorkers,
-			VerifyCacheSize: *verifyCache,
+			VerifyWorkers:   common.VerifyWorkers,
+			VerifyCacheSize: common.VerifyCache,
 			Obs:             ob,
 		})
 		if err != nil {
@@ -136,33 +138,18 @@ func main() {
 	srv := horizon.New(node, net, networkID)
 	srv.EnablePprof = *pprofFlag
 
-	// Drive virtual time in near-real-time under the server lock.
+	// Drive virtual time in near-real-time under the server lock until
+	// shutdown is requested.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	go func() {
 		const step = 50 * time.Millisecond
-		for {
+		for ctx.Err() == nil {
 			time.Sleep(step)
 			srv.Mu.Lock()
 			net.RunFor(step)
 			srv.Mu.Unlock()
 		}
-	}()
-
-	// On SIGINT/SIGTERM, flush the trace (if any) before exiting.
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		if tracer != nil {
-			srv.Mu.Lock()
-			err := writeTrace(tracer, *tracePath)
-			srv.Mu.Unlock()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "error writing trace: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev)\n", *tracePath)
-		}
-		os.Exit(0)
 	}()
 
 	fmt.Printf("%d validator(s) closing ledgers every %v (quorum: %d-of-%d)\n",
@@ -178,22 +165,32 @@ func main() {
 		fmt.Printf("     go tool pprof localhost%s/debug/pprof/profile\n", *listen)
 	}
 	if tracer != nil {
-		fmt.Printf("tracing to %s (flushed on Ctrl-C)\n", *tracePath)
+		fmt.Printf("tracing to %s (flushed on Ctrl-C)\n", common.TracePath)
 	}
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
+	// the trace while the simulation driver is parked.
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		}
+	}()
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-func writeTrace(tracer *obs.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	<-ctx.Done()
+	if tracer != nil {
+		srv.Mu.Lock()
+		err := common.WriteTrace(tracer)
+		srv.Mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error writing trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if err := tracer.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -1,0 +1,217 @@
+// Command stellar-node runs ONE validator as an OS process, speaking the
+// authenticated TCP overlay (internal/transport) to its peers — where
+// stellar-sim and horizon-demo simulate a whole network in-process, N
+// stellar-node processes form a real quorum:
+//
+//	stellar-node -seed node-0 -listen :11625 -peers localhost:11626,localhost:11627 -horizon :8000
+//	stellar-node -seed node-1 -listen :11626 -peers localhost:11625,localhost:11627 -metrics :9001
+//	stellar-node -seed node-2 -listen :11627 -peers localhost:11625,localhost:11626 -metrics :9002
+//
+// Identities are derived from seed labels so every process computes the
+// same quorum set and genesis state with no coordination; -quorum lists
+// the labels of all validators (majority threshold). The demo master
+// account ("demo-master" seed label) exists at genesis for transaction
+// submission through horizon, exactly as in horizon-demo.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stellar/internal/cliutil"
+	"stellar/internal/fba"
+	"stellar/internal/herder"
+	"stellar/internal/horizon"
+	"stellar/internal/ledger"
+	"stellar/internal/obs"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":11625", "TCP overlay listen address")
+	peersFlag := flag.String("peers", "", "comma-separated peer overlay addresses (host:port) to dial")
+	seed := flag.String("seed", "node-0", "identity seed label of this validator (must appear in -quorum)")
+	quorumFlag := flag.String("quorum", "node-0,node-1,node-2", "comma-separated identity seed labels of all validators (majority quorum)")
+	horizonAddr := flag.String("horizon", "", "HTTP listen address for the full horizon API (empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for metrics and debug endpoints (empty = disabled)")
+	interval := flag.Duration("interval", 5*time.Second, "target ledger interval")
+	network := flag.String("network", "stellar-node-network", "network passphrase; nodes on different passphrases reject each other at handshake")
+	drift := flag.Duration("max-drift", 0, "close-time clock tolerance (0 = 10s); widen when -interval is sub-second")
+	queueSize := flag.Int("queue", 0, "per-peer outbound frame queue, oldest shed when full (0 = 512)")
+	verbose := flag.Bool("v", false, "structured node and transport logging to stderr")
+	var common cliutil.CommonFlags
+	common.Register(flag.CommandLine)
+	flag.Parse()
+
+	if err := run(*listen, *peersFlag, *seed, *quorumFlag, *horizonAddr, *metricsAddr,
+		*network, *interval, *drift, *queueSize, *verbose, &common); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network string,
+	interval, drift time.Duration, queueSize int, verbose bool, common *cliutil.CommonFlags) error {
+
+	labels := strings.Split(quorumFlag, ",")
+	ids := make([]fba.NodeID, 0, len(labels))
+	self := -1
+	for i, label := range labels {
+		label = strings.TrimSpace(label)
+		if label == "" {
+			return errors.New("-quorum has an empty label")
+		}
+		labels[i] = label
+		kp := stellarcrypto.KeyPairFromString(label)
+		ids = append(ids, fba.NodeIDFromPublicKey(kp.Public))
+		if label == seed {
+			self = i
+		}
+	}
+	if self < 0 {
+		return fmt.Errorf("-seed %q is not among the -quorum labels %v", seed, labels)
+	}
+	keys := stellarcrypto.KeyPairFromString(seed)
+	qset := fba.Majority(ids...)
+	networkID := stellarcrypto.HashBytes([]byte(network))
+
+	ob := &obs.Obs{}
+	if verbose {
+		ob.Log = obs.NewLogger(os.Stderr, slog.LevelDebug).With(slog.String("node", seed))
+	}
+	var tracer *obs.Tracer
+	if common.Tracing() {
+		tracer = obs.NewTracer(nil) // wall clock
+		ob.Tracer = tracer
+	}
+
+	// Every process derives the identical genesis ledger (plus the
+	// demo-master account for horizon transaction submission), so the
+	// chain of header hashes matches across the quorum from seq 1.
+	genesis, masterKP := herder.GenesisState(networkID)
+	demoKP := stellarcrypto.KeyPairFromString("demo-master")
+	demo := ledger.AccountIDFromPublicKey(demoKP.Public)
+	master := ledger.AccountIDFromPublicKey(masterKP.Public)
+	op := &ledger.CreateAccount{Destination: demo, StartingBalance: 1_000_000 * ledger.One}
+	if err := op.Apply(genesis, &ledger.ApplyEnv{LedgerSeq: 1}, master); err != nil {
+		return err
+	}
+
+	loop := transport.NewLoop()
+	node, err := herder.New(loop, herder.Config{
+		Keys:              keys,
+		QSet:              qset,
+		NetworkID:         networkID,
+		LedgerInterval:    interval,
+		MaxCloseTimeDrift: drift,
+		VerifyWorkers:     common.VerifyWorkers,
+		VerifyCacheSize:   common.VerifyCache,
+		Obs:               ob,
+	})
+	if err != nil {
+		return err
+	}
+	obs.RegisterRuntimeMetrics(node.Obs().Reg)
+
+	var peers []string
+	if peersFlag != "" {
+		for _, p := range strings.Split(peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	mgr, err := transport.NewManager(loop, transport.Config{
+		ListenAddr: listen,
+		Peers:      peers,
+		Keys:       keys,
+		NetworkID:  networkID,
+		QueueSize:  queueSize,
+		Obs:        node.Obs(),
+		OnPeerUp: func(p simnet.Addr) {
+			node.Overlay().AddPeer(p)
+			node.RebroadcastLatest()
+		},
+		OnPeerDown: func(p simnet.Addr) {
+			node.Overlay().RemovePeer(p)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	loop.Run(func() {
+		node.Bootstrap(genesis, 0)
+		node.Start()
+	})
+
+	// Horizon (full API) and the metrics endpoint serve the same handler:
+	// the metrics address is the lightweight alternative when no client
+	// API is wanted, exposing /metrics, /debug/quorum, and /ledgers.
+	srv := horizon.New(node, loop, networkID)
+	srv.Mu = loop.Locker()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	servers := make([]*http.Server, 0, 2)
+	errc := make(chan error, 2)
+	for _, addr := range []string{horizonAddr, metricsAddr} {
+		if addr == "" {
+			continue
+		}
+		hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+		servers = append(servers, hs)
+		go func() {
+			if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
+
+	fmt.Printf("validator %s (%s)\n", seed, node.ID())
+	fmt.Printf("overlay listening on %s, dialing %d peer(s); quorum %d-of-%d, ledgers every %v\n",
+		mgr.Addr(), len(peers), qset.Threshold, len(qset.Validators), interval)
+	if horizonAddr != "" {
+		fmt.Printf("horizon on %s — try: curl localhost%s/ledgers/latest\n", horizonAddr, horizonAddr)
+	}
+	if metricsAddr != "" {
+		fmt.Printf("metrics on %s — try: curl localhost%s/metrics\n", metricsAddr, metricsAddr)
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down")
+	case err := <-errc:
+		return err
+	}
+
+	// Graceful shutdown: stop serving HTTP, tear down the overlay, then
+	// flush the trace while the node state is quiescent.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, hs := range servers {
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		}
+	}
+	mgr.Close()
+	loop.Close()
+	if tracer != nil {
+		if err := common.WriteTrace(tracer); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
+}

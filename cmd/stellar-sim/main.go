@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"stellar/internal/cliutil"
 	"stellar/internal/experiments"
 	"stellar/internal/obs"
 )
@@ -28,11 +29,10 @@ func main() {
 	dropRate := flag.Float64("drop", 0, "message drop probability [0,1)")
 	seed := flag.Int64("seed", 42, "deterministic simulation seed")
 	archive := flag.String("archive", "", "directory for a history archive (optional)")
-	verifyWorkers := flag.Int("verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
-	verifyCache := flag.Int("verify-cache", 0, "signature verification cache entries (0 = default)")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 	decompose := flag.Bool("decompose", false, "print the per-phase latency decomposition table")
 	verbose := flag.Bool("v", false, "structured per-node logging to stderr")
+	var common cliutil.CommonFlags
+	common.Register(flag.CommandLine)
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -43,9 +43,9 @@ func main() {
 		DropRate:        *dropRate,
 		Seed:            *seed,
 		ArchiveDir:      *archive,
-		VerifyWorkers:   *verifyWorkers,
-		VerifyCacheSize: *verifyCache,
-		Trace:           *tracePath != "" || *decompose,
+		VerifyWorkers:   common.VerifyWorkers,
+		VerifyCacheSize: common.VerifyCache,
+		Trace:           common.Tracing() || *decompose,
 	}
 	if *verbose {
 		root := obs.NewLogger(os.Stderr, slog.LevelDebug)
@@ -113,20 +113,10 @@ func main() {
 		fmt.Println("):")
 		_ = d.WriteTable(os.Stdout)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
+	if common.Tracing() {
+		if err := common.WriteTrace(s.Tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
-		if err := s.Tracer.WriteChromeTrace(f); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *tracePath)
 	}
 }

@@ -1,0 +1,52 @@
+// Package cliutil holds the flag surface shared by the repo's binaries
+// (stellar-sim, horizon-demo, stellar-node), so the verification-tuning
+// and tracing flags cannot drift apart: one registration point, one help
+// string, one trace-writing path.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stellar/internal/obs"
+)
+
+// CommonFlags is the flag set every binary that builds herder nodes
+// shares: signature-verification tuning and span tracing.
+type CommonFlags struct {
+	// VerifyWorkers sizes the signature verification pool
+	// (0 = NumCPU, 1 = sequential); VerifyCache bounds its LRU.
+	VerifyWorkers int
+	VerifyCache   int
+	// TracePath, when non-empty, enables span tracing and names the
+	// Chrome trace-event JSON file to write.
+	TracePath string
+}
+
+// Register attaches the shared flags to fs (flag.CommandLine in main).
+func (f *CommonFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.VerifyWorkers, "verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
+	fs.IntVar(&f.VerifyCache, "verify-cache", 0, "signature verification cache entries (0 = default)")
+	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+}
+
+// Tracing reports whether span tracing was requested.
+func (f *CommonFlags) Tracing() bool { return f.TracePath != "" }
+
+// WriteTrace writes the tracer's Chrome trace JSON to the -trace path.
+func (f *CommonFlags) WriteTrace(tracer *obs.Tracer) error {
+	out, err := os.Create(f.TracePath)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", f.TracePath)
+	return nil
+}

@@ -37,8 +37,12 @@ func (d *driver) ValidateValue(slot uint64, raw scp.Value) scp.ValidationLevel {
 	if sv.CloseTime <= n.last.CloseTime && slot == uint64(n.last.LedgerSeq)+1 {
 		return scp.ValueInvalid
 	}
+	drift := n.cfg.MaxCloseTimeDrift
+	if drift <= 0 {
+		drift = 10 * time.Second
+	}
 	now := int64(n.net.Now() / time.Second)
-	fullyValid := sv.CloseTime <= now+10
+	fullyValid := sv.CloseTime <= now+int64(drift/time.Second)
 
 	// Upgrades: invalid upgrades poison the value; valid-but-undesired
 	// ones make it merely acceptable for a governing node (§5.3).

@@ -57,6 +57,14 @@ type Config struct {
 	// Multicast selects the §7.5 structured-multicast extension instead
 	// of flooding; requires SetMembers on the overlay after wiring.
 	Multicast bool
+	// MaxCloseTimeDrift bounds how far in the future a proposed close
+	// time may sit and still be fully valid (0 = 10s, stellar-core's
+	// clock tolerance). Close times advance at least one second per
+	// ledger, so deployments closing ledgers faster than one per second
+	// — TCP integration tests, for instance — must widen this or
+	// validation starts rejecting values once the schedule outruns the
+	// wall clock.
+	MaxCloseTimeDrift time.Duration
 	// Obs supplies the node's observability bundle (metric registry,
 	// protocol trace recorder, logger). nil, or a bundle with nil fields,
 	// selects defaults: a private registry and trace ring, silent logs.
@@ -69,7 +77,7 @@ type Node struct {
 	cfg  Config
 	id   fba.NodeID
 	addr simnet.Addr
-	net  *simnet.Network
+	net  simnet.Env
 	ov   *overlay.Overlay
 	scp  *scp.Node
 
@@ -142,9 +150,11 @@ type slotStat struct {
 	emitted        int
 }
 
-// New creates a validator attached to the simulated network. The genesis
-// state must be installed with Bootstrap or CatchUp before Start.
-func New(net *simnet.Network, cfg Config) (*Node, error) {
+// New creates a validator attached to a network environment — the
+// deterministic simulator or a real transport loop; the herder's behavior
+// is identical on either backend. The genesis state must be installed with
+// Bootstrap or CatchUp before Start.
+func New(net simnet.Env, cfg Config) (*Node, error) {
 	if cfg.LedgerInterval <= 0 {
 		cfg.LedgerInterval = 5 * time.Second
 	}

@@ -7,6 +7,7 @@ package history
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -49,12 +50,24 @@ func Open(dir string) (*Archive, error) {
 // Dir returns the archive root.
 func (a *Archive) Dir() string { return a.dir }
 
+// Every archive file is framed as magic ‖ sha256(payload) ‖ payload, so
+// a read detects any bit rot or truncation with certainty rather than
+// relying on the payload codec to notice (gob, in particular, happily
+// decodes some single-bit flips into different values). The blob stores
+// archives live on (§5.4) give no integrity guarantee of their own.
+const archiveMagic = "STLRHIS1"
+
 // writeFile writes atomically-ish (temp + rename) to keep the archive
-// consistent under crashes.
+// consistent under crashes, framing the payload with its checksum.
 func (a *Archive) writeFile(rel string, data []byte) error {
 	path := filepath.Join(a.dir, rel)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	sum := sha256.Sum256(data)
+	framed := make([]byte, 0, len(archiveMagic)+len(sum)+len(data))
+	framed = append(framed, archiveMagic...)
+	framed = append(framed, sum[:]...)
+	framed = append(framed, data...)
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
 		return fmt.Errorf("history: write %s: %w", rel, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -68,7 +81,16 @@ func (a *Archive) readFile(rel string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("history: read %s: %w", rel, err)
 	}
-	return data, nil
+	hdrLen := len(archiveMagic) + sha256.Size
+	if len(data) < hdrLen || string(data[:len(archiveMagic)]) != archiveMagic {
+		return nil, fmt.Errorf("history: %s: corrupted or truncated archive file (bad header)", rel)
+	}
+	payload := data[hdrLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[len(archiveMagic):hdrLen]) {
+		return nil, fmt.Errorf("history: %s: corrupted or truncated archive file (checksum mismatch)", rel)
+	}
+	return payload, nil
 }
 
 func encodeGob(v any) ([]byte, error) {
@@ -79,9 +101,24 @@ func encodeGob(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeGob(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("history: decode: %w", err)
+// decodeGob decodes one archived value, treating every way a damaged
+// file can fail — decode error, trailing garbage, or a decoder panic
+// (encoding/gob panics rather than errors on some malformed streams) —
+// as a clear corruption error instead of crashing the node. Archives
+// live on remote blob stores (§5.4); bit rot and truncated uploads are
+// normal events a validator must survive.
+func decodeGob(data []byte, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("history: decode: corrupted archive file: %v", r)
+		}
+	}()
+	r := bytes.NewReader(data)
+	if err := gob.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("history: decode: corrupted archive file: %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("history: decode: %d trailing bytes after value", r.Len())
 	}
 	return nil
 }
@@ -127,6 +164,9 @@ func (a *Archive) GetHeader(seq uint32) (*ledger.Header, error) {
 	var h ledger.Header
 	if err := decodeGob(data, &h); err != nil {
 		return nil, err
+	}
+	if h.LedgerSeq != seq {
+		return nil, fmt.Errorf("history: header file %08d contains seq %d", seq, h.LedgerSeq)
 	}
 	return &h, nil
 }
@@ -205,6 +245,9 @@ func (a *Archive) GetCheckpoint(seq uint32) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := decodeGob(data, &cp); err != nil {
 		return nil, err
+	}
+	if cp.LedgerSeq != seq {
+		return nil, fmt.Errorf("history: checkpoint file %08d contains seq %d", seq, cp.LedgerSeq)
 	}
 	return &cp, nil
 }

@@ -38,25 +38,35 @@ func (s *Server) handleLedgerBySeq(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad ledger sequence")
 		return
 	}
-	if s.archive == nil {
-		writeError(w, http.StatusNotImplemented, "no history archive configured")
+	if s.archive != nil {
+		hdr, err := s.archive.GetHeader(uint32(seq))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "ledger %d not archived", seq)
+			return
+		}
+		writeJSON(w, http.StatusOK, LedgerInfo{
+			Sequence:     hdr.LedgerSeq,
+			Hash:         hdr.Hash().Hex(),
+			PrevHash:     hdr.PrevHash().Hex(),
+			CloseTime:    hdr.CloseTime,
+			TxSetHash:    hdr.TxSetHash.Hex(),
+			SnapshotHash: hdr.SnapshotHash.Hex(),
+			BaseFee:      ledger.FormatAmount(hdr.BaseFee),
+			BaseReserve:  ledger.FormatAmount(hdr.BaseReserve),
+		})
 		return
 	}
-	hdr, err := s.archive.GetHeader(uint32(seq))
-	if err != nil {
-		writeError(w, http.StatusNotFound, "ledger %d not archived", seq)
+	// Without an archive the node still remembers every header hash it
+	// chained, which is exactly what cross-node divergence checks need
+	// (make node-smoke compares this across the TCP quorum).
+	if h, ok := s.Node.HeaderHash(uint32(seq)); ok {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"sequence": seq,
+			"hash":     h.Hex(),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, LedgerInfo{
-		Sequence:     hdr.LedgerSeq,
-		Hash:         hdr.Hash().Hex(),
-		PrevHash:     hdr.PrevHash().Hex(),
-		CloseTime:    hdr.CloseTime,
-		TxSetHash:    hdr.TxSetHash.Hex(),
-		SnapshotHash: hdr.SnapshotHash.Hex(),
-		BaseFee:      ledger.FormatAmount(hdr.BaseFee),
-		BaseReserve:  ledger.FormatAmount(hdr.BaseReserve),
-	})
+	writeError(w, http.StatusNotFound, "ledger %d not known to this node", seq)
 }
 
 // TxInfo is the public view of an archived transaction.

@@ -24,13 +24,15 @@ import (
 )
 
 // Server is a horizon instance bound to one validator node. Because the
-// validator lives inside the single-threaded simulation, every request
-// takes the simulation lock; the driver goroutine advancing virtual time
-// shares it.
+// validator runs single-threaded inside its network environment, every
+// request takes the environment's lock: for a simulated node that mutex
+// excludes the goroutine advancing virtual time; for a TCP node
+// (cmd/stellar-node) it is the transport loop's lock, so requests see the
+// herder's state between events.
 type Server struct {
-	Mu   sync.Mutex
+	Mu   sync.Locker
 	Node *herder.Node
-	Net  *simnet.Network
+	Net  simnet.Env
 
 	NetworkID stellarcrypto.Hash
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
@@ -43,9 +45,11 @@ type Server struct {
 	httpLat  *obs.HistogramVec // horizon_http_request_seconds{route}
 }
 
-// New builds a Server for the node.
-func New(node *herder.Node, net *simnet.Network, networkID stellarcrypto.Hash) *Server {
-	s := &Server{Node: node, Net: net, NetworkID: networkID}
+// New builds a Server for the node with its own lock. Callers whose node
+// is driven by another goroutine (the simulation driver, the transport
+// loop) must replace Mu with that driver's lock before serving.
+func New(node *herder.Node, net simnet.Env, networkID stellarcrypto.Hash) *Server {
+	s := &Server{Mu: &sync.Mutex{}, Node: node, Net: net, NetworkID: networkID}
 	s.httpReqs, s.httpLat = newHTTPInstruments(node.Obs().Reg)
 	return s
 }

@@ -336,8 +336,21 @@ func TestHistoryEndpoints(t *testing.T) {
 
 func TestHistoryEndpointsNoArchive(t *testing.T) {
 	f := newFixture(t)
-	if code := f.get("/ledgers/2", nil); code != http.StatusNotImplemented {
-		t.Fatalf("status %d without archive", code)
+	// Without an archive the node still serves the hashes of headers it
+	// chained itself (the node-smoke divergence check relies on this).
+	var lite struct {
+		Sequence uint32 `json:"sequence"`
+		Hash     string `json:"hash"`
+	}
+	if code := f.get("/ledgers/2", &lite); code != http.StatusOK {
+		t.Fatalf("status %d for live header without archive", code)
+	}
+	want, ok := f.node.HeaderHash(2)
+	if !ok || lite.Hash != want.Hex() {
+		t.Fatalf("live header hash = %q, want %q", lite.Hash, want.Hex())
+	}
+	if code := f.get("/ledgers/999999", nil); code != http.StatusNotFound {
+		t.Fatalf("status %d for unknown ledger", code)
 	}
 	if code := f.get("/transactions/abcd", nil); code != http.StatusNotImplemented {
 		t.Fatalf("status %d without archive", code)

@@ -106,6 +106,20 @@ func DecodeTransactionXDR(d *xdr.Decoder) (*Transaction, error) {
 // EncodeSignedXDR, requiring all of data to be consumed.
 func DecodeSignedTransactionXDR(data []byte) (*Transaction, error) {
 	d := xdr.NewDecoder(data)
+	tx, err := DecodeSignedTransactionFromXDR(d)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("ledger: %d trailing bytes after envelope", d.Remaining())
+	}
+	return tx, nil
+}
+
+// DecodeSignedTransactionFromXDR reads one complete envelope from the
+// decoder, leaving it positioned after the envelope (so containers such as
+// transaction sets can decode several in sequence).
+func DecodeSignedTransactionFromXDR(d *xdr.Decoder) (*Transaction, error) {
 	tx, err := DecodeTransactionXDR(d)
 	if err != nil {
 		return nil, err
@@ -130,10 +144,52 @@ func DecodeSignedTransactionXDR(data []byte) (*Transaction, error) {
 		copy(ds.Hint[:], hint)
 		tx.Signatures = append(tx.Signatures, ds)
 	}
-	if !d.Done() {
-		return nil, fmt.Errorf("ledger: %d trailing bytes after envelope", d.Remaining())
-	}
 	return tx, nil
+}
+
+// maxDecodeTxSetSize caps the transactions one decoded set may declare;
+// generously above any surge-priced ledger, far below a hostile length.
+const maxDecodeTxSetSize = 1 << 16
+
+// EncodeXDR writes the transaction set's wire form: the previous ledger
+// hash followed by each signed transaction envelope.
+func (ts *TxSet) EncodeXDR(e *xdr.Encoder) {
+	e.PutFixed(ts.PrevLedgerHash[:])
+	e.PutUint32(uint32(len(ts.Txs)))
+	for _, tx := range ts.Txs {
+		tx.EncodeSignedXDR(e)
+	}
+}
+
+// DecodeTxSetXDR reads one transaction set written by TxSet.EncodeXDR,
+// leaving the decoder positioned after it.
+func DecodeTxSetXDR(d *xdr.Decoder) (*TxSet, error) {
+	prev, err := d.Fixed(32)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodeTxSetSize {
+		return nil, fmt.Errorf("ledger: transaction set with %d transactions", n)
+	}
+	// Every envelope costs at least its source-string length prefix, so a
+	// count the input cannot hold is rejected before allocating.
+	if int(n)*4 > d.Remaining() {
+		return nil, xdr.ErrTruncated
+	}
+	ts := &TxSet{}
+	copy(ts.PrevLedgerHash[:], prev)
+	for i := uint32(0); i < n; i++ {
+		tx, err := DecodeSignedTransactionFromXDR(d)
+		if err != nil {
+			return nil, err
+		}
+		ts.Txs = append(ts.Txs, tx)
+	}
+	return ts, nil
 }
 
 // decodeOpBody dispatches on the operation type string written by

@@ -128,9 +128,12 @@ func (p *Packet) size() int {
 // DefaultSeenCacheSize bounds the duplicate-suppression cache.
 const DefaultSeenCacheSize = 4096
 
-// Overlay is one node's view of the flooding network.
+// Overlay is one node's view of the flooding network. It is backend-
+// agnostic: the same flooding, dedup, and TTL logic runs over the
+// deterministic simulator or a real TCP transport, whichever simnet.Env
+// is supplied at construction.
 type Overlay struct {
-	net       *simnet.Network
+	net       simnet.Env
 	self      simnet.Addr
 	networkID stellarcrypto.Hash
 	peers     []simnet.Addr
@@ -189,9 +192,9 @@ func (o *Overlay) SetObs(reg *obs.Registry, log *slog.Logger) {
 	o.log = log
 }
 
-// New creates an overlay endpoint for self on the simulated network.
-// cacheSize ≤ 0 selects the default.
-func New(net *simnet.Network, self simnet.Addr, networkID stellarcrypto.Hash, cacheSize int) *Overlay {
+// New creates an overlay endpoint for self on a network environment
+// (simulated or real). cacheSize ≤ 0 selects the default.
+func New(net simnet.Env, self simnet.Addr, networkID stellarcrypto.Hash, cacheSize int) *Overlay {
 	if cacheSize <= 0 {
 		cacheSize = DefaultSeenCacheSize
 	}
@@ -212,6 +215,38 @@ func (o *Overlay) Connect(peers ...simnet.Addr) {
 			o.peers = append(o.peers, p)
 		}
 	}
+	o.gaugePeers()
+}
+
+// AddPeer adds one peer if not already present. Real transports call this
+// as connections complete their handshake, so the flood peer set tracks
+// live authenticated links rather than static wiring.
+func (o *Overlay) AddPeer(p simnet.Addr) {
+	if p == o.self {
+		return
+	}
+	for _, q := range o.peers {
+		if q == p {
+			return
+		}
+	}
+	o.peers = append(o.peers, p)
+	o.gaugePeers()
+}
+
+// RemovePeer drops a peer (a real connection died); unknown peers are a
+// no-op.
+func (o *Overlay) RemovePeer(p simnet.Addr) {
+	for i, q := range o.peers {
+		if q == p {
+			o.peers = append(o.peers[:i], o.peers[i+1:]...)
+			o.gaugePeers()
+			return
+		}
+	}
+}
+
+func (o *Overlay) gaugePeers() {
 	if o.ins != nil {
 		o.ins.peers.Set(float64(len(o.peers)))
 	}

@@ -17,8 +17,33 @@ import (
 	"time"
 )
 
-// Addr identifies a simulated host.
+// Addr identifies a host. On the simulated network it is an arbitrary
+// label; real transports use the validator's node ID (its public key
+// address), so the same value addresses a peer on either backend.
 type Addr string
+
+// Env is the node-facing surface of a network environment: sending
+// messages, scheduling timers, and reading the clock. The discrete-event
+// simulator implements it with a virtual clock; the TCP overlay transport
+// (internal/transport) implements it with the wall clock and real
+// connections. Nodes written against Env run unchanged on either backend.
+type Env interface {
+	// Now returns the environment's current time. The simulator's clock
+	// starts at zero; real-time environments may anchor it to the Unix
+	// epoch so that independent processes agree on close times.
+	Now() time.Duration
+	// After schedules fn to run at now+d on behalf of owner, returning a
+	// cancellable handle.
+	After(owner Addr, d time.Duration, fn func()) *Timer
+	// Defer schedules fn to run immediately after the current event
+	// completes (breaks re-entrancy).
+	Defer(fn func())
+	// Send transmits msg from one node to another; size approximates the
+	// wire size for bandwidth accounting.
+	Send(from, to Addr, msg any, size int)
+	// AddNode registers a host's message handler.
+	AddNode(addr Addr, h Handler)
+}
 
 // Handler receives messages delivered to a node.
 type Handler interface {
@@ -124,6 +149,8 @@ type Network struct {
 	procCost  time.Duration
 	busyUntil map[Addr]time.Duration
 }
+
+var _ Env = (*Network)(nil)
 
 // New creates an empty network with the given deterministic seed and a
 // default constant 1 ms latency.
@@ -318,6 +345,17 @@ func (t *Timer) Cancel() { t.cancelled = true }
 
 // Fired reports whether the callback has run.
 func (t *Timer) Fired() bool { return t.fired }
+
+// Cancelled reports whether Cancel was called. Exported so other Env
+// implementations (internal/transport's real-time loop) can honor
+// cancellation of the timers they hand out; all accesses must happen under
+// the environment's serialization (the simulator's single thread, or the
+// real-time loop's mutex).
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// MarkFired records that the callback ran, for external Env
+// implementations. Same serialization requirement as Cancelled.
+func (t *Timer) MarkFired() { t.fired = true }
 
 // After schedules fn to run at now+d on behalf of owner (timers of downed
 // nodes are suppressed). It returns a cancellable handle.

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"time"
+
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// handshake authenticates a freshly accepted or dialed connection. Both
+// sides run the same symmetric exchange:
+//
+//	→ Hello{version, network-id, public-key, challenge}
+//	← Hello{...}
+//	→ Auth{sign(domain ‖ network-id ‖ peer-challenge ‖ own-pubkey)}
+//	← Auth{...}
+//
+// and each verifies the peer's signature against the public key the peer
+// claimed in its hello. The node ID returned is derived from that verified
+// key, never taken from configuration, so a peer cannot impersonate an
+// address it does not hold the key for. Any mismatch — protocol version,
+// network id, bad signature, or talking to ourselves — fails the
+// handshake and the connection is dropped.
+func handshake(conn net.Conn, keys stellarcrypto.KeyPair, networkID stellarcrypto.Hash, timeout time.Duration) (simnet.Addr, error) {
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return "", err
+	}
+	defer conn.SetDeadline(time.Time{})
+
+	ours := Hello{Version: ProtocolVersion, NetworkID: networkID, PublicKey: keys.Public}
+	if _, err := rand.Read(ours.Challenge[:]); err != nil {
+		return "", fmt.Errorf("transport: challenge: %w", err)
+	}
+	if err := WriteFrame(conn, FrameHello, ours.encode()); err != nil {
+		return "", fmt.Errorf("transport: send hello: %w", err)
+	}
+
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return "", fmt.Errorf("transport: read hello: %w", err)
+	}
+	if typ != FrameHello {
+		return "", fmt.Errorf("transport: expected hello, got %v", typ)
+	}
+	theirs, err := decodeHello(payload)
+	if err != nil {
+		return "", fmt.Errorf("transport: bad hello: %w", err)
+	}
+	switch {
+	case theirs.Version != ProtocolVersion:
+		return "", fmt.Errorf("transport: peer speaks protocol v%d, want v%d", theirs.Version, ProtocolVersion)
+	case theirs.NetworkID != networkID:
+		return "", fmt.Errorf("transport: peer on network %s, want %s", theirs.NetworkID, networkID)
+	case theirs.PublicKey.Equal(keys.Public):
+		return "", fmt.Errorf("transport: connected to self")
+	}
+
+	sig := keys.Secret.Sign(authPayload(networkID, theirs.Challenge, keys.Public))
+	if err := WriteFrame(conn, FrameAuth, encodeAuth(sig)); err != nil {
+		return "", fmt.Errorf("transport: send auth: %w", err)
+	}
+
+	typ, payload, err = ReadFrame(conn)
+	if err != nil {
+		return "", fmt.Errorf("transport: read auth: %w", err)
+	}
+	if typ != FrameAuth {
+		return "", fmt.Errorf("transport: expected auth, got %v", typ)
+	}
+	theirSig, err := decodeAuth(payload)
+	if err != nil {
+		return "", fmt.Errorf("transport: bad auth: %w", err)
+	}
+	if !theirs.PublicKey.Verify(authPayload(networkID, ours.Challenge, theirs.PublicKey), theirSig) {
+		return "", fmt.Errorf("transport: peer %s failed challenge signature", theirs.PublicKey.Address())
+	}
+	return simnet.Addr(theirs.PublicKey.Address()), nil
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"net"
+	"sync"
+
+	"stellar/internal/simnet"
+)
+
+// peer is one authenticated connection. Outbound frames pass through a
+// bounded deque drained by a dedicated writer goroutine; when a slow peer
+// lets the queue fill, the oldest frame is shed. Enqueue therefore never
+// blocks: consensus keeps its cadence and a laggard peer recovers via
+// catch-up rather than by stalling everyone else (the same policy
+// stellar-core applies to flooded traffic).
+type peer struct {
+	id     simnet.Addr
+	conn   net.Conn
+	dialed bool // we initiated the connection (tie-break bookkeeping)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte // encoded frames, oldest first
+	limit  int
+	closed bool
+
+	done chan struct{} // closed once the peer is torn down
+}
+
+func newPeer(id simnet.Addr, conn net.Conn, dialed bool, queueLimit int) *peer {
+	p := &peer{id: id, conn: conn, dialed: dialed, limit: queueLimit, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue queues one encoded frame for the writer, shedding the oldest
+// queued frame when full. Returns how many frames were shed (0 or 1).
+func (p *peer) enqueue(frame []byte) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0
+	}
+	shed := 0
+	if len(p.queue) >= p.limit {
+		p.queue = p.queue[1:]
+		shed = 1
+	}
+	p.queue = append(p.queue, frame)
+	p.cond.Signal()
+	return shed
+}
+
+// next blocks until a frame is available or the peer closes.
+func (p *peer) next() ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil, false
+	}
+	frame := p.queue[0]
+	p.queue = p.queue[1:]
+	return frame, true
+}
+
+// close releases the writer and the connection; idempotent.
+func (p *peer) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.conn.Close()
+	close(p.done)
+}
+
+// writeLoop drains the queue onto the connection until the peer closes or
+// a write fails (the manager tears the peer down on return).
+func (p *peer) writeLoop(onWrite func(frameBytes int)) error {
+	for {
+		frame, ok := p.next()
+		if !ok {
+			return nil
+		}
+		if _, err := p.conn.Write(frame); err != nil {
+			return err
+		}
+		if onWrite != nil {
+			onWrite(len(frame))
+		}
+	}
+}

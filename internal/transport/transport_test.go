@@ -1,0 +1,462 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/ledger"
+	"stellar/internal/obs"
+	"stellar/internal/overlay"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+var testNetworkID = stellarcrypto.HashBytes([]byte("transport-test"))
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, {0x42}, bytes.Repeat([]byte("frame"), 40_000)}
+	for _, want := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FramePacket, want); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		appended, err := AppendFrame(nil, FramePacket, want)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), appended) {
+			t.Fatalf("WriteFrame and AppendFrame disagree on the wire form")
+		}
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if typ != FramePacket || !bytes.Equal(got, want) {
+			t.Fatalf("round trip: typ=%v len=%d, want packet len=%d", typ, len(got), len(want))
+		}
+	}
+}
+
+func TestReadFrameRejectsHostileLengths(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":   {0, 0, 0, 0},
+		"over limit":    {0xff, 0xff, 0xff, 0xff, 1},
+		"truncated":     {0, 0, 0, 10, byte(FramePacket), 1, 2},
+		"empty input":   {},
+		"header only":   {0, 0, 0, 5},
+		"oversize by 1": binary.BigEndian.AppendUint32(nil, MaxFramePayload+2),
+	}
+	for name, in := range cases {
+		if _, _, err := ReadFrame(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadFrame accepted hostile input", name)
+		}
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	big := make([]byte, MaxFramePayload+1)
+	if err := WriteFrame(io.Discard, FramePacket, big); err == nil {
+		t.Fatal("WriteFrame accepted an oversized payload")
+	}
+	if _, err := AppendFrame(nil, FramePacket, big); err == nil {
+		t.Fatal("AppendFrame accepted an oversized payload")
+	}
+}
+
+// tcpPair returns two ends of a real loopback TCP connection. The
+// symmetric handshake has both sides write their hello before reading, so
+// it needs genuinely buffered sockets — net.Pipe deadlocks.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		dialed.Close()
+		t.Fatalf("accept: %v", r.err)
+	}
+	return dialed, r.c
+}
+
+// runHandshakePair runs the symmetric handshake over a loopback TCP pair
+// and returns each side's result.
+func runHandshakePair(t *testing.T, aKeys, bKeys stellarcrypto.KeyPair, aNet, bNet stellarcrypto.Hash) (aID, bID simnet.Addr, aErr, bErr error) {
+	t.Helper()
+	ca, cb := tcpPair(t)
+	defer ca.Close()
+	defer cb.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bID, bErr = handshake(cb, bKeys, bNet, time.Second)
+	}()
+	aID, aErr = handshake(ca, aKeys, aNet, time.Second)
+	<-done
+	return aID, bID, aErr, bErr
+}
+
+func TestHandshakeAuthenticates(t *testing.T) {
+	a := stellarcrypto.KeyPairFromString("hs-a")
+	b := stellarcrypto.KeyPairFromString("hs-b")
+	aID, bID, aErr, bErr := runHandshakePair(t, a, b, testNetworkID, testNetworkID)
+	if aErr != nil || bErr != nil {
+		t.Fatalf("handshake failed: a=%v b=%v", aErr, bErr)
+	}
+	if aID != simnet.Addr(b.Public.Address()) {
+		t.Fatalf("side A learned %s, want %s", aID, b.Public.Address())
+	}
+	if bID != simnet.Addr(a.Public.Address()) {
+		t.Fatalf("side B learned %s, want %s", bID, a.Public.Address())
+	}
+}
+
+func TestHandshakeRejectsWrongNetwork(t *testing.T) {
+	a := stellarcrypto.KeyPairFromString("hs-a")
+	b := stellarcrypto.KeyPairFromString("hs-b")
+	other := stellarcrypto.HashBytes([]byte("some-other-network"))
+	_, _, aErr, bErr := runHandshakePair(t, a, b, testNetworkID, other)
+	if aErr == nil && bErr == nil {
+		t.Fatal("handshake across different network ids succeeded")
+	}
+}
+
+func TestHandshakeRejectsSelf(t *testing.T) {
+	a := stellarcrypto.KeyPairFromString("hs-a")
+	_, _, aErr, bErr := runHandshakePair(t, a, a, testNetworkID, testNetworkID)
+	if aErr == nil && bErr == nil {
+		t.Fatal("handshake with self succeeded")
+	}
+}
+
+// TestHandshakeRejectsBadSignature impersonates a validator: the rogue
+// side claims victim's public key in its hello but can only sign with its
+// own key. The honest side must refuse.
+func TestHandshakeRejectsBadSignature(t *testing.T) {
+	honest := stellarcrypto.KeyPairFromString("hs-honest")
+	rogue := stellarcrypto.KeyPairFromString("hs-rogue")
+	victim := stellarcrypto.KeyPairFromString("hs-victim")
+
+	ca, cb := tcpPair(t)
+	defer ca.Close()
+	defer cb.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := handshake(ca, honest, testNetworkID, time.Second)
+		errc <- err
+	}()
+
+	// Rogue speaks the protocol manually, claiming victim's identity.
+	hello := Hello{Version: ProtocolVersion, NetworkID: testNetworkID, PublicKey: victim.Public}
+	copy(hello.Challenge[:], bytes.Repeat([]byte{7}, 32))
+	if err := WriteFrame(cb, FrameHello, hello.encode()); err != nil {
+		t.Fatalf("rogue hello: %v", err)
+	}
+	if _, _, err := ReadFrame(cb); err != nil { // honest hello
+		t.Fatalf("rogue read hello: %v", err)
+	}
+	typ, payload, err := ReadFrame(cb) // honest auth
+	if err != nil || typ != FrameAuth {
+		t.Fatalf("rogue read auth: typ=%v err=%v", typ, err)
+	}
+	_ = payload
+	// Sign the right payload with the WRONG key (rogue doesn't have
+	// victim's secret). The challenge value doesn't matter: any signature
+	// rogue can produce fails verification against victim's public key.
+	sig := rogue.Secret.Sign([]byte("forged"))
+	if err := WriteFrame(cb, FrameAuth, encodeAuth(sig)); err != nil {
+		t.Fatalf("rogue auth: %v", err)
+	}
+
+	if err := <-errc; err == nil {
+		t.Fatal("honest side accepted a forged challenge signature")
+	}
+}
+
+func TestPeerQueueShedsOldest(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	p := newPeer("peer", client, false, 3)
+	defer p.close()
+
+	shed := 0
+	for i := 0; i < 5; i++ {
+		shed += p.enqueue([]byte{byte(i)})
+	}
+	if shed != 2 {
+		t.Fatalf("shed %d frames, want 2", shed)
+	}
+	// Oldest (0, 1) are gone; 2, 3, 4 remain in order.
+	for _, want := range []byte{2, 3, 4} {
+		frame, ok := p.next()
+		if !ok || frame[0] != want {
+			t.Fatalf("dequeued %v (ok=%v), want [%d]", frame, ok, want)
+		}
+	}
+}
+
+func testEnvelope() *scp.Envelope {
+	b := scp.Ballot{Counter: 3, Value: scp.Value("ballot-value")}
+	return &scp.Envelope{
+		Node: "GNODE",
+		Slot: 42,
+		Seq:  7,
+		QSet: fba.Majority("GNODE", "GOTHER", "GTHIRD"),
+		Statement: scp.Statement{
+			Type:      scp.StmtPrepare,
+			Ballot:    b,
+			Prepared:  &b,
+			NPrepared: 2,
+			NC:        1,
+			NH:        3,
+		},
+		Signature: []byte("not-a-real-signature"),
+	}
+}
+
+func testTx(t *testing.T) *ledger.Transaction {
+	t.Helper()
+	kp := stellarcrypto.KeyPairFromString("transport-tx-key")
+	src := ledger.AccountIDFromPublicKey(kp.Public)
+	other := ledger.AccountIDFromPublicKey(stellarcrypto.KeyPairFromString("transport-tx-other").Public)
+	tx := &ledger.Transaction{
+		Source: src,
+		Fee:    100,
+		SeqNum: 7,
+		Operations: []ledger.Operation{
+			{Body: &ledger.Payment{Destination: other, Asset: ledger.NativeAsset(), Amount: 5}},
+		},
+	}
+	tx.Sign(testNetworkID, kp)
+	return tx
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	tx := testTx(t)
+	ts := &ledger.TxSet{PrevLedgerHash: stellarcrypto.HashBytes([]byte("prev")), Txs: []*ledger.Transaction{tx}}
+	packets := []*overlay.Packet{
+		{Kind: overlay.KindEnvelope, Envelope: testEnvelope(), TTL: 5, Origin: "GORIGIN"},
+		{Kind: overlay.KindTx, Tx: tx, TTL: overlay.DefaultTTL, Origin: "GORIGIN"},
+		{Kind: overlay.KindTxSet, TxSet: ts, TTL: 1, Origin: "GORIGIN"},
+		{Kind: overlay.KindCatchupReq, CatchupFrom: 17, TTL: 0, Origin: "GORIGIN"},
+		{Kind: overlay.KindCatchupResp, TTL: 0, Origin: "GORIGIN",
+			CatchupItems: []overlay.CatchupItem{{Slot: 9, Value: []byte("sv"), TxSet: ts}}},
+	}
+	for _, want := range packets {
+		payload, err := EncodePacket(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Kind, err)
+		}
+		got, err := DecodePacket(payload)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestDecodePacketRejectsHostile(t *testing.T) {
+	base, err := EncodePacket(&overlay.Packet{Kind: overlay.KindCatchupReq, CatchupFrom: 1, TTL: 2, Origin: "G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown kind":   binary.BigEndian.AppendUint32(nil, 999),
+		"trailing bytes": append(append([]byte{}, base...), 0xde, 0xad),
+	}
+	// Excessive TTL.
+	ttl := make([]byte, 8)
+	binary.BigEndian.PutUint32(ttl[:4], uint32(overlay.KindEnvelope))
+	binary.BigEndian.PutUint32(ttl[4:], overlay.DefaultTTL+1)
+	cases["excessive ttl"] = ttl
+	// Catch-up item count far beyond the input.
+	huge := binary.BigEndian.AppendUint32(nil, uint32(overlay.KindCatchupResp))
+	huge = binary.BigEndian.AppendUint32(huge, 0)         // ttl
+	huge = binary.BigEndian.AppendUint32(huge, 0)         // origin ""
+	huge = binary.BigEndian.AppendUint32(huge, 1_000_000) // item count
+	cases["catchup count"] = huge
+
+	for name, in := range cases {
+		if _, err := DecodePacket(in); err == nil {
+			t.Errorf("%s: DecodePacket accepted hostile input", name)
+		}
+	}
+}
+
+// newTestManager wires a manager with no herder node behind it, capturing
+// delivered packets via the loop handler.
+type captureHandler struct {
+	got chan *overlay.Packet
+}
+
+func (c *captureHandler) HandleMessage(from simnet.Addr, msg any, size int) {
+	if p, ok := msg.(*overlay.Packet); ok {
+		c.got <- p
+	}
+}
+
+func newTestManager(t *testing.T, label string, peers []string) (*Manager, *Loop, *captureHandler) {
+	t.Helper()
+	keys := stellarcrypto.KeyPairFromString(label)
+	loop := NewLoop()
+	h := &captureHandler{got: make(chan *overlay.Packet, 64)}
+	loop.AddNode(simnet.Addr(keys.Public.Address()), h)
+	m, err := NewManager(loop, Config{
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       peers,
+		Keys:        keys,
+		NetworkID:   testNetworkID,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+		Obs:         obs.New(),
+	})
+	if err != nil {
+		t.Fatalf("NewManager(%s): %v", label, err)
+	}
+	t.Cleanup(m.Close)
+	return m, loop, h
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestManagerConnectSendReconnect(t *testing.T) {
+	ma, _, ha := newTestManager(t, "mgr-a", nil)
+	mb, loopB, _ := newTestManager(t, "mgr-b", []string{ma.Addr()})
+
+	waitFor(t, "peers up", func() bool { return ma.NumPeers() == 1 && mb.NumPeers() == 1 })
+
+	// B sends a packet to A through the loop Send path; it must arrive at
+	// A's handler with B's identity as the sender.
+	pkt := &overlay.Packet{Kind: overlay.KindCatchupReq, CatchupFrom: 5, TTL: 0, Origin: mb.Self()}
+	loopB.Run(func() { loopB.Send(mb.Self(), ma.Self(), pkt, 0) })
+	select {
+	case got := <-ha.got:
+		if got.Kind != overlay.KindCatchupReq || got.CatchupFrom != 5 {
+			t.Fatalf("delivered %+v, want the catch-up request", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("packet never delivered")
+	}
+
+	// Sever the connection server-side; B's dial loop must notice and
+	// re-establish within its backoff schedule.
+	ma.peerByID(mb.Self()).conn.Close()
+	waitFor(t, "peers down", func() bool { return ma.NumPeers() == 0 })
+	waitFor(t, "reconnect", func() bool { return ma.NumPeers() == 1 && mb.NumPeers() == 1 })
+	if got := mb.ins.reconnects.Value(); got < 1 {
+		t.Fatalf("transport_reconnects_total = %v, want >= 1", got)
+	}
+}
+
+// TestManagerDuplicateConnections has both sides dial each other; the
+// tie-break must converge on exactly one authenticated connection per
+// side, and traffic must still flow.
+func TestManagerDuplicateConnections(t *testing.T) {
+	// Both managers listen; configure each to dial the other after both
+	// listeners are bound, using a fixed pair of ports chosen by the OS.
+	keysA := stellarcrypto.KeyPairFromString("dup-a")
+	keysB := stellarcrypto.KeyPairFromString("dup-b")
+	loopA, loopB := NewLoop(), NewLoop()
+	ha := &captureHandler{got: make(chan *overlay.Packet, 64)}
+	hb := &captureHandler{got: make(chan *overlay.Packet, 64)}
+	loopA.AddNode(simnet.Addr(keysA.Public.Address()), ha)
+	loopB.AddNode(simnet.Addr(keysB.Public.Address()), hb)
+
+	ma, err := NewManager(loopA, Config{
+		ListenAddr: "127.0.0.1:0", Keys: keysA, NetworkID: testNetworkID,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 200 * time.Millisecond, Obs: obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ma.Close)
+	mb, err := NewManager(loopB, Config{
+		ListenAddr: "127.0.0.1:0", Peers: []string{ma.Addr()}, Keys: keysB, NetworkID: testNetworkID,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 200 * time.Millisecond, Obs: obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mb.Close)
+	// A also dials B, creating crossing connections.
+	ma.wg.Add(1)
+	go ma.dialLoop(mb.Addr())
+
+	waitFor(t, "exactly one peer each", func() bool { return ma.NumPeers() == 1 && mb.NumPeers() == 1 })
+
+	// Give any losing duplicate time to be torn down, then confirm
+	// traffic flows in both directions over whatever connection won.
+	time.Sleep(100 * time.Millisecond)
+	pkt := &overlay.Packet{Kind: overlay.KindCatchupReq, CatchupFrom: 9, TTL: 0, Origin: ma.Self()}
+	loopA.Run(func() { loopA.Send(ma.Self(), mb.Self(), pkt, 0) })
+	loopB.Run(func() { loopB.Send(mb.Self(), ma.Self(), pkt, 0) })
+	for _, ch := range []*captureHandler{ha, hb} {
+		select {
+		case <-ch.got:
+		case <-time.After(10 * time.Second):
+			t.Fatal("packet lost after duplicate-connection resolution")
+		}
+	}
+	if ma.NumPeers() != 1 || mb.NumPeers() != 1 {
+		t.Fatalf("peers after settle: a=%d b=%d, want 1 and 1", ma.NumPeers(), mb.NumPeers())
+	}
+}
+
+func TestManagerRejectsWrongNetworkPeer(t *testing.T) {
+	ma, _, _ := newTestManager(t, "mgr-a", nil)
+
+	keys := stellarcrypto.KeyPairFromString("mgr-rogue")
+	loop := NewLoop()
+	loop.AddNode(simnet.Addr(keys.Public.Address()), &captureHandler{got: make(chan *overlay.Packet, 1)})
+	rogue, err := NewManager(loop, Config{
+		Peers: []string{ma.Addr()}, Keys: keys,
+		NetworkID:   stellarcrypto.HashBytes([]byte("wrong-network")),
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 200 * time.Millisecond, Obs: obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rogue.Close)
+
+	waitFor(t, "handshake failures", func() bool { return ma.ins.handshakeFailures.Value() >= 1 })
+	if n := ma.NumPeers(); n != 0 {
+		t.Fatalf("wrong-network peer registered: NumPeers=%d", n)
+	}
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"fmt"
+
+	"stellar/internal/ledger"
+	"stellar/internal/overlay"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
+)
+
+// ProtocolVersion is the overlay wire protocol version carried in the
+// hello; peers speaking a different version are dropped at handshake.
+const ProtocolVersion = 1
+
+// Hello opens the handshake in both directions: each side announces its
+// protocol version, network, claimed identity, and a fresh random
+// challenge the peer must sign to prove it controls the claimed key.
+type Hello struct {
+	Version   uint32
+	NetworkID stellarcrypto.Hash
+	PublicKey stellarcrypto.PublicKey
+	Challenge [32]byte
+}
+
+func (h *Hello) encode() []byte {
+	e := xdr.NewEncoder(128)
+	e.PutUint32(h.Version)
+	e.PutFixed(h.NetworkID[:])
+	e.PutBytes(h.PublicKey.Bytes())
+	e.PutFixed(h.Challenge[:])
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeHello(payload []byte) (*Hello, error) {
+	d := xdr.NewDecoder(payload)
+	h := &Hello{}
+	var err error
+	if h.Version, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	nid, err := d.Fixed(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(h.NetworkID[:], nid)
+	pk, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if h.PublicKey, err = stellarcrypto.PublicKeyFromBytes(pk); err != nil {
+		return nil, err
+	}
+	ch, err := d.Fixed(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(h.Challenge[:], ch)
+	if !d.Done() {
+		return nil, fmt.Errorf("transport: %d trailing bytes after hello", d.Remaining())
+	}
+	return h, nil
+}
+
+// authPayload is the canonical byte string a peer signs to answer a
+// challenge: domain separator, network, the challenge it was sent, and its
+// own public key (binding the proof to one identity so a signature cannot
+// be replayed on behalf of another node).
+func authPayload(networkID stellarcrypto.Hash, challenge [32]byte, signer stellarcrypto.PublicKey) []byte {
+	e := xdr.NewEncoder(128)
+	e.PutString("stellar-transport-auth-v1")
+	e.PutFixed(networkID[:])
+	e.PutFixed(challenge[:])
+	e.PutBytes(signer.Bytes())
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func encodeAuth(sig []byte) []byte {
+	e := xdr.NewEncoder(80)
+	e.PutBytes(sig)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeAuth(payload []byte) ([]byte, error) {
+	d := xdr.NewDecoder(payload)
+	sig, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("transport: %d trailing bytes after auth", d.Remaining())
+	}
+	return sig, nil
+}
+
+// maxCatchupItems bounds a catch-up response; the herder serves at most
+// its recent window (128 ledgers), so anything larger is hostile.
+const maxCatchupItems = 1024
+
+// EncodePacket returns the wire payload for one overlay packet.
+func EncodePacket(p *overlay.Packet) ([]byte, error) {
+	e := xdr.NewEncoder(512)
+	e.PutUint32(uint32(p.Kind))
+	e.PutUint32(uint32(p.TTL))
+	e.PutString(string(p.Origin))
+	switch p.Kind {
+	case overlay.KindEnvelope:
+		if p.Envelope == nil {
+			return nil, fmt.Errorf("transport: envelope packet without envelope")
+		}
+		p.Envelope.EncodeXDR(e)
+	case overlay.KindTx:
+		if p.Tx == nil {
+			return nil, fmt.Errorf("transport: tx packet without tx")
+		}
+		p.Tx.EncodeSignedXDR(e)
+	case overlay.KindTxSet:
+		if p.TxSet == nil {
+			return nil, fmt.Errorf("transport: txset packet without txset")
+		}
+		p.TxSet.EncodeXDR(e)
+	case overlay.KindCatchupReq:
+		e.PutUint32(p.CatchupFrom)
+	case overlay.KindCatchupResp:
+		e.PutUint32(uint32(len(p.CatchupItems)))
+		for _, it := range p.CatchupItems {
+			e.PutUint64(it.Slot)
+			e.PutBytes(it.Value)
+			if it.TxSet == nil {
+				return nil, fmt.Errorf("transport: catch-up item without txset")
+			}
+			it.TxSet.EncodeXDR(e)
+		}
+	default:
+		return nil, fmt.Errorf("transport: cannot encode packet kind %v", p.Kind)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// DecodePacket parses one overlay packet from a frame payload.
+func DecodePacket(payload []byte) (*overlay.Packet, error) {
+	d := xdr.NewDecoder(payload)
+	kind, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	ttl, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if ttl > overlay.DefaultTTL {
+		return nil, fmt.Errorf("transport: packet TTL %d exceeds maximum %d", ttl, overlay.DefaultTTL)
+	}
+	origin, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	p := &overlay.Packet{Kind: overlay.Kind(kind), TTL: int(ttl), Origin: simnet.Addr(origin)}
+	switch p.Kind {
+	case overlay.KindEnvelope:
+		if p.Envelope, err = scp.DecodeEnvelopeXDR(d); err != nil {
+			return nil, err
+		}
+	case overlay.KindTx:
+		if p.Tx, err = ledger.DecodeSignedTransactionFromXDR(d); err != nil {
+			return nil, err
+		}
+	case overlay.KindTxSet:
+		if p.TxSet, err = ledger.DecodeTxSetXDR(d); err != nil {
+			return nil, err
+		}
+	case overlay.KindCatchupReq:
+		if p.CatchupFrom, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	case overlay.KindCatchupResp:
+		n, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxCatchupItems {
+			return nil, fmt.Errorf("transport: catch-up response with %d items", n)
+		}
+		if int(n)*16 > d.Remaining() {
+			return nil, xdr.ErrTruncated
+		}
+		for i := uint32(0); i < n; i++ {
+			var it overlay.CatchupItem
+			if it.Slot, err = d.Uint64(); err != nil {
+				return nil, err
+			}
+			if it.Value, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if it.TxSet, err = ledger.DecodeTxSetXDR(d); err != nil {
+				return nil, err
+			}
+			p.CatchupItems = append(p.CatchupItems, it)
+		}
+	default:
+		return nil, fmt.Errorf("transport: unknown packet kind %d", kind)
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("transport: %d trailing bytes after packet", d.Remaining())
+	}
+	return p, nil
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# node-smoke: boot a 3-process stellar-node TCP quorum on loopback, wait
+# for every node to close ledger 20, then cross-check header hashes over
+# the HTTP endpoints. Exits non-zero on timeout, divergence, or a dead
+# metrics endpoint. Logs are kept in $NODE_SMOKE_DIR for CI upload.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LOGDIR="${NODE_SMOKE_DIR:-node-smoke-logs}"
+TARGET_SEQ="${TARGET_SEQ:-20}"
+TIMEOUT_S="${TIMEOUT_S:-120}"
+INTERVAL="${INTERVAL:-250ms}"
+BASE_OVERLAY="${BASE_OVERLAY:-21625}"
+BASE_HTTP="${BASE_HTTP:-28000}"
+
+mkdir -p "$LOGDIR"
+rm -f "$LOGDIR"/node-*.log
+
+echo "building stellar-node..."
+go build -o "$LOGDIR/stellar-node" ./cmd/stellar-node
+
+PIDS=()
+cleanup() {
+    # SIGTERM first so graceful shutdown paths get exercised on every run.
+    for pid in "${PIDS[@]}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    sleep 1
+    for pid in "${PIDS[@]}"; do
+        kill -KILL "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+overlay_port() { echo $((BASE_OVERLAY + $1)); }
+http_port()    { echo $((BASE_HTTP + $1)); }
+
+QUORUM="node-0,node-1,node-2"
+for i in 0 1 2; do
+    peers=""
+    for j in 0 1 2; do
+        [ "$i" = "$j" ] && continue
+        peers="${peers:+$peers,}127.0.0.1:$(overlay_port "$j")"
+    done
+    "$LOGDIR/stellar-node" \
+        -seed "node-$i" \
+        -quorum "$QUORUM" \
+        -listen "127.0.0.1:$(overlay_port "$i")" \
+        -peers "$peers" \
+        -metrics "127.0.0.1:$(http_port "$i")" \
+        -interval "$INTERVAL" \
+        -max-drift 24h \
+        -v >"$LOGDIR/node-$i.log" 2>&1 &
+    PIDS+=($!)
+    echo "started node-$i (pid ${PIDS[$i]}, overlay :$(overlay_port "$i"), http :$(http_port "$i"))"
+done
+
+echo "waiting for all nodes to reach ledger $TARGET_SEQ (timeout ${TIMEOUT_S}s)..."
+deadline=$((SECONDS + TIMEOUT_S))
+for i in 0 1 2; do
+    while :; do
+        seq=$(curl -sf "http://127.0.0.1:$(http_port "$i")/ledgers/latest" 2>/dev/null \
+              | sed -n 's/.*"sequence"[": ]*\([0-9][0-9]*\).*/\1/p' || true)
+        if [ -n "${seq:-}" ] && [ "$seq" -ge "$TARGET_SEQ" ]; then
+            echo "node-$i at ledger $seq"
+            break
+        fi
+        if [ "$SECONDS" -ge "$deadline" ]; then
+            echo "FAIL: node-$i stuck at ledger '${seq:-none}' after ${TIMEOUT_S}s" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+done
+
+echo "cross-checking header hashes for ledgers 2..$TARGET_SEQ..."
+for seq in $(seq 2 "$TARGET_SEQ"); do
+    want=""
+    for i in 0 1 2; do
+        hash=$(curl -sf "http://127.0.0.1:$(http_port "$i")/ledgers/$seq" \
+               | sed -n 's/.*"hash"[": ]*"\([0-9a-f]*\)".*/\1/p')
+        if [ -z "$hash" ]; then
+            echo "FAIL: node-$i has no header for ledger $seq" >&2
+            exit 1
+        fi
+        if [ -z "$want" ]; then
+            want="$hash"
+        elif [ "$hash" != "$want" ]; then
+            echo "FAIL: DIVERGENCE at ledger $seq: node-0=$want node-$i=$hash" >&2
+            exit 1
+        fi
+    done
+done
+echo "all 3 nodes agree on ledgers 2..$TARGET_SEQ"
+
+echo "checking /metrics and /debug/quorum..."
+for i in 0 1 2; do
+    curl -sf "http://127.0.0.1:$(http_port "$i")/metrics" | grep -q '^transport_peers 2$' || {
+        echo "FAIL: node-$i /metrics missing transport_peers=2" >&2
+        curl -sf "http://127.0.0.1:$(http_port "$i")/metrics" | grep '^transport_' >&2 || true
+        exit 1
+    }
+    curl -sf "http://127.0.0.1:$(http_port "$i")/debug/quorum" >/dev/null || {
+        echo "FAIL: node-$i /debug/quorum unreachable" >&2
+        exit 1
+    }
+done
+
+echo "node-smoke PASS: 3-process TCP quorum closed $TARGET_SEQ identical ledgers"
