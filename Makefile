@@ -13,7 +13,10 @@ TRACE_OUT ?= trace-smoke.json
 # NODE_SMOKE_DIR is where node-smoke writes the per-node logs CI uploads.
 NODE_SMOKE_DIR ?= node-smoke-logs
 
-.PHONY: all build test race vet fmt check bench bench-smoke trace-smoke fuzz chaos soak node-smoke
+# OBS_SMOKE_DIR is where bench-cluster writes the per-node logs CI uploads.
+OBS_SMOKE_DIR ?= obs-smoke-logs
+
+.PHONY: all build test race vet fmt check bench bench-smoke trace-smoke fuzz chaos soak node-smoke bench-cluster
 
 all: check
 
@@ -64,6 +67,16 @@ fuzz:
 	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzQuorumSetDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ledger/ -run '^$$' -fuzz '^FuzzCheckSignatures$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME)
+
+# bench-cluster boots a 3-process TCP quorum with live tracing, drives
+# payment load through horizon (scripts/bench-cluster.sh), and publishes
+# BENCH_cluster.json plus the merged cluster-trace.json — validated by
+# `stellar-obs check` and `tracecheck -cluster`. It then regenerates
+# BENCH_micro.json from one pass of the microbenchmarks.
+bench-cluster:
+	OBS_SMOKE_DIR=$(OBS_SMOKE_DIR) ./scripts/bench-cluster.sh
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -benchtime 1x . \
+		| $(GO) run ./cmd/benchtables -bench-json BENCH_micro.json
 
 # node-smoke boots a 3-process TCP quorum (cmd/stellar-node), waits for
 # ledger 20 on every node, and cross-checks header hashes over HTTP;

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"stellar/internal/obs/collect"
+)
+
+// runBenchJSON parses `go test -bench` output (read from r, normally a
+// pipe from the bench make target) into a schema-versioned
+// stellar-bench/v1 micro report, so the microbenchmark numbers land in
+// the same published BENCH_*.json artifact family as the cluster run.
+func runBenchJSON(r io.Reader, path string) error {
+	rows, err := collect.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("bench-json: no Benchmark result lines on stdin")
+	}
+	report := &collect.BenchReport{Kind: "micro", GeneratedUnix: time.Now().Unix(), Micro: rows}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := collect.WriteBench(w, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-json: %d benchmark rows → %s\n", len(rows), path)
+	return nil
+}
+
+// echoBench copies bench output through while buffering it, so the make
+// target still shows the familiar `go test -bench` lines on the console.
+func echoBench(r io.Reader) io.Reader {
+	var b strings.Builder
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return strings.NewReader(b.String())
+}

@@ -7,6 +7,11 @@
 //	benchtables -table=all            # everything (slow)
 //	benchtables -table=fig9 -full     # one figure at paper scale
 //	benchtables -list                 # enumerate tables
+//
+// With -bench-json it instead converts `go test -bench` output piped on
+// stdin into a schema-versioned BENCH_micro.json:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchtables -bench-json BENCH_micro.json
 package main
 
 import (
@@ -42,8 +47,17 @@ func main() {
 	table := flag.String("table", "all", "table to regenerate (see -list)")
 	full := flag.Bool("full", false, "paper-scale sweeps (slow); default is a faithful reduced scale")
 	list := flag.Bool("list", false, "list available tables")
+	benchJSON := flag.String("bench-json", "",
+		"parse `go test -bench` output from stdin into a stellar-bench/v1 micro report at this path (- = stdout)")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		if err := runBenchJSON(echoBench(os.Stdin), *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, t := range tables {
 			fmt.Printf("  %-12s %s\n", t.name, t.desc)

@@ -63,6 +63,7 @@ func main() {
 	var tracer *obs.Tracer
 	if common.Tracing() {
 		tracer = obs.NewTracer(nil)
+		tracer.SetLimit(common.TraceLimit)
 	}
 
 	net := simnet.New(time.Now().UnixNano())
@@ -134,6 +135,7 @@ func main() {
 	// Go runtime self-metrics (heap, GC pauses, goroutines) on the serving
 	// node's registry, refreshed at every /metrics scrape.
 	obs.RegisterRuntimeMetrics(node.Obs().Reg)
+	obs.RegisterTracerMetrics(node.Obs().Reg, tracer)
 
 	srv := horizon.New(node, net, networkID)
 	srv.EnablePprof = *pprofFlag

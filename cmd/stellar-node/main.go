@@ -93,6 +93,10 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 	var tracer *obs.Tracer
 	if common.Tracing() {
 		tracer = obs.NewTracer(nil) // wall clock
+		// Namespace span ids by this validator's public key so traces
+		// exported from independent processes merge without collisions.
+		tracer.SetIDBase(obs.IDBaseFromString(keys.Public.Address()))
+		tracer.SetLimit(common.TraceLimit)
 		ob.Tracer = tracer
 	}
 
@@ -123,6 +127,7 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		return err
 	}
 	obs.RegisterRuntimeMetrics(node.Obs().Reg)
+	obs.RegisterTracerMetrics(node.Obs().Reg, tracer)
 
 	var peers []string
 	if peersFlag != "" {

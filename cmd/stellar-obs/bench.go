@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"stellar/internal/ledger"
+	"stellar/internal/obs/collect"
+	"stellar/internal/stellarcrypto"
+)
+
+// The cluster bench runner: drive payment load through horizon against a
+// live TCP quorum, then measure from the fleet's own telemetry — ledger
+// cadence from observed closes, submit→applied percentiles from the
+// merged cross-node trace, tx/s from the herder's applied counters.
+//
+// Horizon derives each transaction's sequence number from current account
+// state, so one account can land at most one transaction per ledger. The
+// driver therefore fans load across -accounts funded bench accounts
+// (created from the demo-master genesis account) and submits one payment
+// per account per observed ledger close, round-robin across the nodes.
+
+type benchClient struct {
+	http *http.Client
+}
+
+func (b *benchClient) submit(base string, req any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := b.http.Post(base+"/transactions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("submit: status %d: %s", resp.StatusCode, e.Error)
+	}
+	return nil
+}
+
+type submitOp struct {
+	Type        string `json:"type"`
+	Destination string `json:"destination,omitempty"`
+	Asset       string `json:"asset,omitempty"`
+	Amount      string `json:"amount,omitempty"`
+}
+
+type submitReq struct {
+	SourceSeed string     `json:"source_seed"`
+	Operations []submitOp `json:"operations"`
+}
+
+func benchAcctLabel(i int) string { return fmt.Sprintf("bench-acct-%d", i) }
+
+func benchAcctID(i int) string {
+	kp := stellarcrypto.KeyPairFromString(benchAcctLabel(i))
+	return string(ledger.AccountIDFromPublicKey(kp.Public))
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	nodes := targetsFlag(fs)
+	duration := fs.Duration("duration", 20*time.Second, "load phase length")
+	accounts := fs.Int("accounts", 8, "bench accounts (max txs per ledger)")
+	out := fs.String("o", "BENCH_cluster.json", "bench report output path (- = stdout)")
+	traceOut := fs.String("trace-out", "", "also write the merged Perfetto trace here")
+	master := fs.String("master", "demo-master", "funding account seed label")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	fs.Parse(args)
+	targets, err := parseTargets(*nodes)
+	if err != nil {
+		return err
+	}
+	if *accounts < 1 {
+		return fmt.Errorf("bench: need at least one account")
+	}
+
+	c := collect.NewClient(*timeout)
+	b := &benchClient{http: &http.Client{Timeout: *timeout}}
+	primary := targets[0]
+
+	// Phase 1: fund the bench accounts with one multi-op create_account tx
+	// and wait for them to exist on the primary node.
+	fmt.Fprintf(os.Stderr, "bench: funding %d accounts from %s...\n", *accounts, *master)
+	fund := submitReq{SourceSeed: *master}
+	for i := 0; i < *accounts; i++ {
+		fund.Operations = append(fund.Operations, submitOp{
+			Type: "create_account", Destination: benchAcctID(i), Amount: "1000",
+		})
+	}
+	if err := b.submit(primary.URL, fund); err != nil {
+		return fmt.Errorf("funding: %w", err)
+	}
+	if err := waitForAccount(b, primary.URL, benchAcctID(*accounts-1), 60*time.Second); err != nil {
+		return err
+	}
+
+	// Phase 2: drive one payment per account per observed ledger close for
+	// the load window, recording the wall time each new ledger appeared.
+	start := c.ScrapeAll(targets)
+	for _, s := range start {
+		if s.Err != nil {
+			return fmt.Errorf("scrape %s: %v", s.Target.URL, s.Err)
+		}
+	}
+	startSeq := start[0].Ledger.Sequence
+	fmt.Fprintf(os.Stderr, "bench: driving load for %s from ledger %d...\n", *duration, startSeq)
+
+	var (
+		closesAt  []time.Time
+		submitted int
+		lastSeq   = startSeq
+		t0        = time.Now()
+	)
+	submitRound := func() {
+		for i := 0; i < *accounts; i++ {
+			req := submitReq{
+				SourceSeed: benchAcctLabel(i),
+				Operations: []submitOp{{
+					Type: "payment", Destination: benchAcctID((i + 1) % *accounts),
+					Asset: "native", Amount: "1",
+				}},
+			}
+			node := targets[(submitted+i)%len(targets)]
+			if err := b.submit(node.URL, req); err == nil {
+				submitted++
+			}
+		}
+	}
+	submitRound() // seed the first ledger's load before waiting on a close
+	for time.Since(t0) < *duration {
+		time.Sleep(50 * time.Millisecond)
+		li, err := c.FetchLedger(primary)
+		if err != nil {
+			continue
+		}
+		if li.Sequence > lastSeq {
+			closesAt = append(closesAt, time.Now())
+			lastSeq = li.Sequence
+			submitRound()
+		}
+	}
+
+	// Phase 3: drain — let the in-flight payments close — then scrape the
+	// whole fleet and compute the report.
+	drainTo := lastSeq + 2
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(drainDeadline) {
+		li, err := c.FetchLedger(primary)
+		if err == nil && li.Sequence >= drainTo {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	end := c.ScrapeAll(targets)
+	for _, s := range end {
+		if s.Err != nil {
+			return fmt.Errorf("scrape %s: %v", s.Target.URL, s.Err)
+		}
+	}
+
+	elapsed := time.Since(t0).Seconds()
+	applied := end[0].Metrics.Sum("herder_tx_per_ledger_sum") - start[0].Metrics.Sum("herder_tx_per_ledger_sum")
+	ledgers := int(end[0].Ledger.Sequence - startSeq)
+	var intervals []float64
+	for i := 1; i < len(closesAt); i++ {
+		intervals = append(intervals, closesAt[i].Sub(closesAt[i-1]).Seconds())
+	}
+	latencies, crossNode := collect.TraceLatencies(end)
+
+	report := &collect.BenchReport{
+		Kind:          "cluster",
+		GeneratedUnix: time.Now().Unix(),
+		Cluster: &collect.ClusterBench{
+			Nodes:           len(targets),
+			DurationSeconds: elapsed,
+			LedgersClosed:   ledgers,
+			TxSubmitted:     submitted,
+			TxApplied:       int(applied),
+			TxPerSecond:     applied / elapsed,
+			CloseInterval:   collect.Summarize(intervals),
+			SubmitToApplied: collect.Summarize(latencies),
+			CrossNodeTraces: crossNode,
+		},
+	}
+	if err := writeBenchReport(report, *out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: %d ledgers, %d/%d txs applied (%.1f tx/s), close p50 %.3fs, submit→applied p50 %.3fs (%d samples, %d cross-node traces)\n",
+		ledgers, int(applied), submitted, report.Cluster.TxPerSecond,
+		report.Cluster.CloseInterval.P50, report.Cluster.SubmitToApplied.P50,
+		report.Cluster.SubmitToApplied.Count, crossNode)
+
+	if *traceOut != "" {
+		stats, err := writeMerged(end, *traceOut)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: merged trace → %s (%d spans, %d cross-node links)\n",
+			*traceOut, stats.SpansOut, stats.CrossLinks)
+	}
+	return nil
+}
+
+func writeBenchReport(r *collect.BenchReport, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return collect.WriteBench(w, r)
+}
+
+// waitForAccount polls until the account exists (the funding tx applied).
+func waitForAccount(b *benchClient, base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := b.http.Get(base + "/accounts/" + id)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("bench: account %s never appeared (funding tx lost?)", id)
+}

@@ -7,10 +7,17 @@
 // chain, and the slot/balloting/apply phase tree it links to, are all
 // present and parented correctly.
 //
+// With -cluster the file must be a merged multi-process trace (the
+// stellar-obs merge output): spans from at least two processes, every
+// remote_parent reference resolving to a span in the file, and at least
+// one flow arrow whose endpoints sit in different processes — the proof
+// that trace context actually crossed the TCP overlay.
+//
 // Usage:
 //
 //	tracecheck out.json
 //	tracecheck -lifecycle out.json
+//	tracecheck -cluster cluster-trace.json
 package main
 
 import (
@@ -49,9 +56,11 @@ func fail(format string, args ...any) {
 func main() {
 	lifecycle := flag.Bool("lifecycle", false,
 		"require a complete parent-linked tx lifecycle (submit through archive)")
+	cluster := flag.Bool("cluster", false,
+		"require a merged multi-process trace with resolved cross-process links")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-lifecycle] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-lifecycle] [-cluster] trace.json")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -65,8 +74,11 @@ func main() {
 
 	spans := 0
 	nameByID := map[string]string{} // span id → name
+	pidByID := map[string]int{}     // span id → process id
 	parentOf := map[string]string{} // span id → parent span id
+	remoteOf := map[string]string{} // span id → remote (cross-process) parent id
 	flows := map[string][2]int{}    // flow id → {#s, #f}
+	flowPids := map[string][2]int{} // flow id → {s pid, f pid}
 	for i, ev := range tf.TraceEvents {
 		switch ev.Ph {
 		case "X":
@@ -88,8 +100,12 @@ func main() {
 				fail("event %d (%s): span id %s already used by %q", i, ev.Name, id, prev)
 			}
 			nameByID[id] = ev.Name
+			pidByID[id] = *ev.Pid
 			if p := ev.Args["parent"]; p != "" {
 				parentOf[id] = p
+			}
+			if rp := ev.Args["remote_parent"]; rp != "" {
+				remoteOf[id] = rp
 			}
 		case "M":
 			if ev.Name != "process_name" && ev.Name != "thread_name" {
@@ -99,22 +115,35 @@ func main() {
 			if ev.ID == "" {
 				fail("event %d: flow event with no id", i)
 			}
+			if ev.Pid == nil {
+				fail("event %d: flow event with no pid", i)
+			}
 			c := flows[ev.ID]
+			p := flowPids[ev.ID]
 			if ev.Ph == "s" {
 				c[0]++
+				p[0] = *ev.Pid
 			} else {
 				c[1]++
+				p[1] = *ev.Pid
 			}
 			flows[ev.ID] = c
+			flowPids[ev.ID] = p
 		default:
 			fail("event %d: unexpected phase %q", i, ev.Ph)
 		}
 	}
 
-	// Referential integrity: parents resolve, flows are paired.
+	// Referential integrity: parents resolve, flows are paired. Parent
+	// links must stay inside one process — cross-process continuation is
+	// remote_parent's job.
 	for id, p := range parentOf {
 		if _, ok := nameByID[p]; !ok {
 			fail("span %s (%s): parent %s does not exist", id, nameByID[id], p)
+		}
+		if pidByID[p] != pidByID[id] {
+			fail("span %s (%s): parent %s lives in pid %d, span in pid %d — use remote_parent",
+				id, nameByID[id], p, pidByID[p], pidByID[id])
 		}
 	}
 	for id, c := range flows {
@@ -126,8 +155,51 @@ func main() {
 	if *lifecycle {
 		checkLifecycle(nameByID, parentOf)
 	}
+	if *cluster {
+		checkCluster(nameByID, pidByID, remoteOf, flowPids)
+	}
 	fmt.Printf("tracecheck: ok — %d spans, %d parent links, %d flows (%d events)\n",
 		spans, len(parentOf), len(flows), len(tf.TraceEvents))
+}
+
+// checkCluster enforces the merged-trace invariants: spans from at least
+// two processes, every remote_parent resolving inside the file, and at
+// least one flow arrow crossing a process boundary.
+func checkCluster(nameByID map[string]string, pidByID map[string]int, remoteOf map[string]string, flowPids map[string][2]int) {
+	pids := map[int]bool{}
+	for _, pid := range pidByID {
+		pids[pid] = true
+	}
+	if len(pids) < 2 {
+		fail("cluster: spans from %d process(es), want ≥ 2", len(pids))
+	}
+	if len(remoteOf) == 0 {
+		fail("cluster: no remote_parent links — trace context never crossed the wire")
+	}
+	crossRemote := 0
+	for id, rp := range remoteOf {
+		if _, ok := nameByID[rp]; !ok {
+			fail("cluster: span %s (%s): remote_parent %s resolves to no span in the merged trace",
+				id, nameByID[id], rp)
+		}
+		if pidByID[rp] != pidByID[id] {
+			crossRemote++
+		}
+	}
+	if crossRemote == 0 {
+		fail("cluster: every remote_parent resolved within one process — no cross-process continuation")
+	}
+	crossFlows := 0
+	for _, p := range flowPids {
+		if p[0] != p[1] {
+			crossFlows++
+		}
+	}
+	if crossFlows == 0 {
+		fail("cluster: no flow arrow crosses a process boundary")
+	}
+	fmt.Printf("tracecheck: cluster ok — %d processes, %d cross-process remote parents, %d cross-process flows\n",
+		len(pids), crossRemote, crossFlows)
 }
 
 // lifecycleParents maps each lifecycle phase to its required parent span

@@ -22,6 +22,13 @@ type CommonFlags struct {
 	// TracePath, when non-empty, enables span tracing and names the
 	// Chrome trace-event JSON file to write.
 	TracePath string
+	// TraceLive enables span tracing with no file on exit — the span
+	// store is served live over GET /debug/trace/export for the fleet
+	// collector (stellar-obs) to scrape.
+	TraceLive bool
+	// TraceLimit bounds the in-memory span store; drops past capacity
+	// are counted in the trace_spans_dropped metric (0 = default cap).
+	TraceLimit int
 }
 
 // Register attaches the shared flags to fs (flag.CommandLine in main).
@@ -29,13 +36,19 @@ func (f *CommonFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.VerifyWorkers, "verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")
 	fs.IntVar(&f.VerifyCache, "verify-cache", 0, "signature verification cache entries (0 = default)")
 	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+	fs.BoolVar(&f.TraceLive, "trace-live", false, "enable span tracing served over /debug/trace/export without writing a file")
+	fs.IntVar(&f.TraceLimit, "trace-limit", 0, "max in-memory spans; excess counted in trace_spans_dropped (0 = default)")
 }
 
 // Tracing reports whether span tracing was requested.
-func (f *CommonFlags) Tracing() bool { return f.TracePath != "" }
+func (f *CommonFlags) Tracing() bool { return f.TracePath != "" || f.TraceLive }
 
-// WriteTrace writes the tracer's Chrome trace JSON to the -trace path.
+// WriteTrace writes the tracer's Chrome trace JSON to the -trace path;
+// with -trace-live alone there is no file and this is a no-op.
 func (f *CommonFlags) WriteTrace(tracer *obs.Tracer) error {
+	if f.TracePath == "" {
+		return nil
+	}
 	out, err := os.Create(f.TracePath)
 	if err != nil {
 		return err

@@ -109,7 +109,7 @@ func (d *driver) EmitEnvelope(env *scp.Envelope) {
 	n.ins.envEmitted.With(stmtLabel(env.Statement.Type)).Inc()
 	n.trace(obs.Event{Slot: env.Slot, Kind: obs.EvEnvelopeEmit,
 		Detail: stmtLabel(env.Statement.Type)})
-	n.ov.BroadcastEnvelope(env)
+	n.ov.BroadcastEnvelopeCtx(env, n.slotCtx(env.Slot))
 }
 
 // SignEnvelope signs with the validator key.

@@ -197,6 +197,9 @@ func New(net simnet.Env, cfg Config) (*Node, error) {
 	n.ov.OnTx = n.onTx
 	n.ov.OnTxSet = n.onTxSet
 	n.ov.OnCatchup = n.handleCatchup
+	if n.tr != nil {
+		n.ov.OnTraceCtx = n.onPacketTrace
+	}
 	scpNode, err := scp.NewNode(id, cfg.QSet, cfg.NetworkID, (*driver)(n))
 	if err != nil {
 		return nil, err
@@ -283,7 +286,7 @@ func (n *Node) SubmitTx(tx *ledger.Transaction) error {
 	n.pending[h] = tx
 	n.traceSubmitTx(h)
 	n.ins.pendingTxs.Set(float64(len(n.pending)))
-	n.ov.BroadcastTx(tx)
+	n.ov.BroadcastTxCtx(tx, n.txCtx(h))
 	return nil
 }
 
@@ -375,7 +378,10 @@ func (n *Node) triggerNextLedger() {
 	tsHash := ts.Hash(n.cfg.NetworkID)
 	n.txsets[tsHash] = ts
 	n.txsetSeen[tsHash] = n.last.LedgerSeq
-	n.ov.BroadcastTxSet(ts)
+	// Open the slot's span tree before the proposal floods so the tx-set
+	// broadcast can carry the nomination span's context.
+	n.traceTriggerSlot(slot, candidates)
+	n.ov.BroadcastTxSetCtx(ts, n.slotCtx(slot))
 
 	sv := &StellarValue{TxSetHash: tsHash, CloseTime: closeTime}
 	if n.cfg.Governing {
@@ -383,7 +389,6 @@ func (n *Node) triggerNextLedger() {
 	}
 	stat := n.stat(slot)
 	stat.nominateAt = n.net.Now()
-	n.traceTriggerSlot(slot, candidates)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvNominationStart,
 		Detail: fmt.Sprintf("txs=%d", len(candidates))})
 	n.log.Debug("trigger ledger", "slot", slot, "txs", len(candidates), "close_time", closeTime)

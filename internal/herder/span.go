@@ -6,6 +6,9 @@ import (
 
 	"stellar/internal/ledger"
 	"stellar/internal/obs"
+	"stellar/internal/overlay"
+	"stellar/internal/scp"
+	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
 )
 
@@ -211,6 +214,102 @@ func (n *Node) traceApplyEnd(slot uint64, apply *obs.Span) {
 		ss.slot.End()
 		delete(n.spans, slot)
 	}
+}
+
+// --- Cross-process trace propagation (overlay inject/extract) ---
+
+// txCtx returns the trace context to inject into a flooded transaction:
+// the submitting tx's lifecycle root, so receiving nodes hang their own
+// lifecycle trees off it. Zero when the tx is untraced.
+func (n *Node) txCtx(h stellarcrypto.Hash) obs.TraceContext {
+	if n.tr == nil {
+		return obs.TraceContext{}
+	}
+	if txt := n.txTrace[h]; txt != nil {
+		return txt.root.Context()
+	}
+	return obs.TraceContext{}
+}
+
+// slotCtx returns the trace context of the slot's deepest open consensus
+// phase, injected into outgoing SCP envelopes and tx-set floods so peers
+// continue the slot's causal tree. Zero when the slot is untraced.
+func (n *Node) slotCtx(slot uint64) obs.TraceContext {
+	if n.tr == nil {
+		return obs.TraceContext{}
+	}
+	ss := n.spans[slot]
+	if ss == nil {
+		return obs.TraceContext{}
+	}
+	for _, sp := range []*obs.Span{ss.commit, ss.prepare, ss.balloting, ss.nomination, ss.slot} {
+		if sp != nil {
+			return sp.Context()
+		}
+	}
+	return obs.TraceContext{}
+}
+
+// onPacketTrace is the overlay's OnTraceCtx hook: it runs for every novel
+// flooded packet, before the payload callback, and extracts the
+// propagated context into continuation spans. Observability only — it
+// never touches consensus state.
+func (n *Node) onPacketTrace(p *overlay.Packet, from simnet.Addr) {
+	if n.tr == nil || p.Trace.IsZero() {
+		return
+	}
+	ctx := p.Trace
+	// The emitting span always lives on the originating node (forwarders
+	// relay the context unchanged), which the packet already names.
+	ctx.Origin = string(p.Origin)
+	switch p.Kind {
+	case overlay.KindTx:
+		n.traceRecvTx(p.Tx, ctx)
+	case overlay.KindEnvelope:
+		n.traceRecvEnvelope(p.Envelope, ctx, from)
+	case overlay.KindTxSet:
+		n.traceRecvMarker("recv-txset", ctx, from)
+	}
+}
+
+// traceRecvTx opens this node's own lifecycle tree for a transaction that
+// arrived by flood, rooted remotely at the submitter's tx span: the
+// merged cluster trace then shows one causal tree with a per-node
+// lifecycle (pending → consensus → applied) under the originating submit.
+func (n *Node) traceRecvTx(tx *ledger.Transaction, ctx obs.TraceContext) {
+	if n.state == nil || len(n.txTrace) >= maxTracedTxs {
+		return
+	}
+	h := tx.Hash(n.cfg.NetworkID)
+	if n.txTrace[h] != nil {
+		return
+	}
+	root := n.tr.RemoteSpan("tx "+shortID(h.Hex()), obs.SpanTx, ctx)
+	root.Arg("hash", h.Hex())
+	pend := root.Child(obs.SpanTxPending)
+	n.txTrace[h] = &txTrace{root: root, phase: pend, stage: txStagePending}
+}
+
+// traceRecvEnvelope drops an instant marker linking a received SCP
+// envelope back to the emitting node's consensus phase span. Envelopes
+// for already-closed slots are skipped — they carry no latency story and
+// would only churn the bounded span store.
+func (n *Node) traceRecvEnvelope(env *scp.Envelope, ctx obs.TraceContext, from simnet.Addr) {
+	if n.last != nil && env.Slot <= uint64(n.last.LedgerSeq) {
+		return
+	}
+	sp := n.tr.RemoteSpan("overlay", "recv-envelope", ctx)
+	sp.Arg("slot", strconv.FormatUint(env.Slot, 10))
+	sp.Arg("from", shortID(string(from)))
+	sp.End()
+}
+
+// traceRecvMarker drops an instant remote-parented marker span on the
+// overlay track (tx-set floods and other one-shot arrivals).
+func (n *Node) traceRecvMarker(name string, ctx obs.TraceContext, from simnet.Addr) {
+	sp := n.tr.RemoteSpan("overlay", name, ctx)
+	sp.Arg("from", shortID(string(from)))
+	sp.End()
 }
 
 // traceEvictTx ends the lifecycle of a pending transaction dropped

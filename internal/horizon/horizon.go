@@ -65,6 +65,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "GET /metrics", s.handlePromMetrics)
 	s.handle(mux, "GET /metrics.json", s.handleMetricsJSON)
 	s.handle(mux, "GET /debug/slots/{seq}/trace", s.handleSlotTrace)
+	s.handle(mux, "GET /debug/trace/export", s.handleTraceExport)
 	s.handle(mux, "GET /debug/quorum", s.handleQuorum)
 	s.handle(mux, "POST /transactions", s.handleSubmit)
 	s.registerHistory(mux)

@@ -147,6 +147,17 @@ func (s *Server) handleQuorum(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handleTraceExport serves the node's span store as a
+// stellar-trace-export/v1 document — the raw material the fleet collector
+// (internal/obs/collect, stellar-obs) skew-aligns and merges into one
+// cluster trace. The tracer is internally synchronized, so like /metrics
+// this never takes the loop lock or blocks consensus. With tracing off it
+// serves an empty document rather than a 404, so scraping stays uniform.
+func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.Node.Obs().Tracer.WriteExport(w, string(s.Node.ID()))
+}
+
 // registerPprof mounts the standard profiling handlers. They bypass the
 // metrics middleware on purpose: profile downloads can run for tens of
 // seconds and would distort the latency histograms.

@@ -1,0 +1,243 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stellar/internal/obs"
+)
+
+// Benchmark telemetry: the schema-versioned BENCH_*.json documents every
+// PR publishes (ROADMAP item 1's perf trajectory), plus the trace math
+// that turns a merged cluster trace into the paper's §7 numbers.
+
+// BenchSchema versions the BENCH_*.json documents.
+const BenchSchema = "stellar-bench/v1"
+
+// Quantiles summarizes a latency sample set (seconds).
+type Quantiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize computes Quantiles from raw samples (seconds).
+func Summarize(samples []float64) Quantiles {
+	q := Quantiles{Count: len(samples)}
+	if len(samples) == 0 {
+		return q
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	q.Mean = sum / float64(len(sorted))
+	pick := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	q.P50, q.P90, q.P99 = pick(0.50), pick(0.90), pick(0.99)
+	q.Max = sorted[len(sorted)-1]
+	return q
+}
+
+// ClusterBench is the wall-clock result of one bench-cluster run against
+// a live TCP quorum.
+type ClusterBench struct {
+	Nodes           int       `json:"nodes"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	LedgersClosed   int       `json:"ledgers_closed"`
+	TxSubmitted     int       `json:"tx_submitted"`
+	TxApplied       int       `json:"tx_applied"`
+	TxPerSecond     float64   `json:"tx_per_second"`
+	CloseInterval   Quantiles `json:"close_interval_seconds"`
+	// SubmitToApplied is measured from the merged cross-node trace: a
+	// transaction's originating submit to the last applied span any node
+	// recorded for it (the paper's end-to-end §7.3 story).
+	SubmitToApplied Quantiles `json:"submit_to_applied_seconds"`
+	// CrossNodeTraces counts causal trees whose spans landed on ≥ 2
+	// processes — the propagation proof.
+	CrossNodeTraces int `json:"cross_node_traces"`
+}
+
+// MicroBench is one `go test -bench` result row.
+type MicroBench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// BenchReport is one BENCH_*.json document.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"` // "cluster" | "micro"
+	// GeneratedUnix stamps the run (unix seconds).
+	GeneratedUnix int64         `json:"generated_unix,omitempty"`
+	Cluster       *ClusterBench `json:"cluster,omitempty"`
+	Micro         []MicroBench  `json:"micro,omitempty"`
+}
+
+// WriteBench writes the report as indented JSON (committed artifacts diff
+// cleanly).
+func WriteBench(w io.Writer, r *BenchReport) error {
+	r.Schema = BenchSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CheckBench validates a BENCH_*.json document: schema version, kind, and
+// shape invariants. This is the gate CI runs on published artifacts.
+func CheckBench(r io.Reader) (*BenchReport, error) {
+	var br BenchReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&br); err != nil {
+		return nil, fmt.Errorf("collect: bench json: %w", err)
+	}
+	if br.Schema != BenchSchema {
+		return nil, fmt.Errorf("collect: bench schema %q, want %q", br.Schema, BenchSchema)
+	}
+	switch br.Kind {
+	case "cluster":
+		c := br.Cluster
+		if c == nil {
+			return nil, fmt.Errorf("collect: kind cluster without cluster payload")
+		}
+		if c.Nodes <= 0 || c.DurationSeconds <= 0 {
+			return nil, fmt.Errorf("collect: cluster bench needs nodes > 0 and duration > 0")
+		}
+		if c.TxApplied > 0 && c.SubmitToApplied.Count == 0 {
+			return nil, fmt.Errorf("collect: applied %d txs but no submit→applied samples", c.TxApplied)
+		}
+	case "micro":
+		if len(br.Micro) == 0 {
+			return nil, fmt.Errorf("collect: kind micro without rows")
+		}
+		for _, m := range br.Micro {
+			if m.Name == "" || m.NsPerOp <= 0 {
+				return nil, fmt.Errorf("collect: micro row %+v needs name and ns/op", m)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("collect: unknown bench kind %q", br.Kind)
+	}
+	return &br, nil
+}
+
+// ParseGoBench parses `go test -bench` output into micro rows. Result
+// lines look like
+//
+//	BenchmarkSCPRound-8   100   11438775 ns/op   57.2 MB/s   1024 B/op   12 allocs/op
+//
+// with every column after the iteration count an optional "value unit"
+// pair; non-benchmark lines (PASS, ok, goos, logs) are skipped.
+func ParseGoBench(r io.Reader) ([]MicroBench, error) {
+	var rows []MicroBench
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix go appends to the benchmark name.
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		row := MicroBench{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				row.NsPerOp = v
+			case "MB/s":
+				row.MBPerSec = v
+			case "B/op":
+				row.BytesPerOp = int64(v)
+			case "allocs/op":
+				row.AllocsPerOp = int64(v)
+			}
+		}
+		if row.NsPerOp > 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows, sc.Err()
+}
+
+// TraceLatencies extracts per-transaction submit→applied latencies from
+// scraped exports: for each causal tree rooted at a submitted tx, the
+// originating root's start to the latest applied-phase end on any node.
+// Returns the samples (seconds) and how many trees crossed processes.
+func TraceLatencies(scrapes []*Scrape) (samples []float64, crossNode int) {
+	spans, _ := align(scrapes)
+	type agg struct {
+		rootStart  int64
+		hasRoot    bool
+		appliedEnd int64
+		hasApplied bool
+		nodes      map[int]bool
+	}
+	trees := make(map[uint64]*agg)
+	tree := func(id uint64) *agg {
+		a := trees[id]
+		if a == nil {
+			a = &agg{nodes: make(map[int]bool)}
+			trees[id] = a
+		}
+		return a
+	}
+	for i := range spans {
+		sp := &spans[i]
+		a := tree(sp.Trace)
+		a.nodes[sp.node] = true
+		switch sp.Name {
+		case obs.SpanTx:
+			// The originating root is the tx span with no remote parent.
+			if sp.RemoteParent == 0 && (!a.hasRoot || sp.absStart < a.rootStart) {
+				a.rootStart, a.hasRoot = sp.absStart, true
+			}
+		case obs.SpanTxApplied:
+			if !sp.Open && (!a.hasApplied || sp.absEnd > a.appliedEnd) {
+				a.appliedEnd, a.hasApplied = sp.absEnd, true
+			}
+		}
+	}
+	for _, a := range trees {
+		if len(a.nodes) >= 2 {
+			crossNode++
+		}
+		if a.hasRoot && a.hasApplied && a.appliedEnd >= a.rootStart {
+			samples = append(samples, float64(a.appliedEnd-a.rootStart)/1e9)
+		}
+	}
+	sort.Float64s(samples)
+	return samples, crossNode
+}

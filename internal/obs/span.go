@@ -57,12 +57,22 @@ const DefaultSpanCapacity = 1 << 17
 // spanRec is one finished (or force-flushed) span.
 type spanRec struct {
 	id, parent uint64
-	proc       int
-	track      string
-	name       string
-	start, end time.Duration
-	args       []spanArg
-	open       bool // still running at export time
+	// trace is the causal tree the span belongs to: the id of the root
+	// span that started it, carried across process boundaries so a
+	// cluster merge can group one transaction's spans from every node.
+	trace uint64
+	// remoteParent is the id of a parent span recorded by ANOTHER
+	// process's tracer (propagated over the overlay wire); 0 when the
+	// parent is local or the span is a true root. origin names the node
+	// that owns the remote parent.
+	remoteParent uint64
+	origin       string
+	proc         int
+	track        string
+	name         string
+	start, end   time.Duration
+	args         []spanArg
+	open         bool // still running at export time
 }
 
 type spanArg struct{ key, value string }
@@ -76,6 +86,7 @@ type Tracer struct {
 	mu      sync.Mutex
 	clock   func() time.Duration
 	limit   int
+	idBase  uint64
 	nextID  uint64
 	done    []spanRec
 	open    map[uint64]*Span
@@ -83,21 +94,45 @@ type Tracer struct {
 	dropped uint64
 	procs   []string
 	procIdx map[string]int
+	// epochUnix anchors the tracer's clock to absolute wall time (unix
+	// nanoseconds at clock zero); 0 means the clock is virtual and spans
+	// from this tracer cannot be skew-aligned against other processes.
+	epochUnix int64
 }
 
 // NewTracer creates a tracer stamping spans with the given clock (nil
-// selects a wall clock anchored at construction).
+// selects a wall clock anchored at construction; that anchor is recorded
+// as the tracer's absolute epoch so independent processes can be merged).
 func NewTracer(clock func() time.Duration) *Tracer {
+	var epochUnix int64
 	if clock == nil {
 		epoch := time.Now()
+		epochUnix = epoch.UnixNano()
 		clock = func() time.Duration { return time.Since(epoch) }
 	}
 	return &Tracer{
-		clock:   clock,
-		limit:   DefaultSpanCapacity,
-		open:    make(map[uint64]*Span),
-		procIdx: make(map[string]int),
+		clock:     clock,
+		limit:     DefaultSpanCapacity,
+		open:      make(map[uint64]*Span),
+		procIdx:   make(map[string]int),
+		epochUnix: epochUnix,
 	}
+}
+
+// SetIDBase namespaces this tracer's span ids by OR-ing base into every
+// id it allocates. Independent processes whose traces will be merged into
+// one cluster trace must use distinct bases (derived from the node's
+// public key), so span ids — and therefore parent and flow references —
+// stay unique across the merged set. In-process multi-node tracers (the
+// simulator shares one tracer) need no base and keep small sequential
+// ids, preserving byte-identical trace output for seeded runs.
+func (t *Tracer) SetIDBase(base uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.idBase = base
 }
 
 // SetLimit bounds the number of recorded spans (≤ 0 restores the default).
@@ -171,6 +206,18 @@ func (p *Proc) Span(track, name string) *Span {
 	return p.t.start(p.idx, 0, nil, track, name)
 }
 
+// RemoteSpan starts a local root span that continues a causal tree begun
+// by another process: ctx carries the originating trace id and the parent
+// span id extracted from an overlay packet. The new span joins ctx's
+// trace, and exports (single-process and merged) render the remote parent
+// link as a cross-process flow arrow wherever both endpoints are present.
+func (p *Proc) RemoteSpan(track, name string, ctx TraceContext) *Span {
+	if p == nil {
+		return nil
+	}
+	return p.t.startCtx(p.idx, 0, nil, track, name, ctx)
+}
+
 // Span is one in-progress interval. All methods are nil-safe.
 type Span struct {
 	t        *Tracer
@@ -184,6 +231,13 @@ type Span struct {
 }
 
 func (t *Tracer) start(proc int, parent uint64, parentSp *Span, track, name string) *Span {
+	return t.startCtx(proc, parent, parentSp, track, name, TraceContext{})
+}
+
+// startCtx is start plus a remote trace context: when ctx carries a
+// parent from another process, the new span becomes a local root that
+// remembers its cross-process ancestry.
+func (t *Tracer) startCtx(proc int, parent uint64, parentSp *Span, track, name string, ctx TraceContext) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.done)+len(t.open) >= t.limit {
@@ -191,13 +245,22 @@ func (t *Tracer) start(proc int, parent uint64, parentSp *Span, track, name stri
 		return nil
 	}
 	t.nextID++
+	id := t.idBase | t.nextID
+	trace := ctx.Trace
+	if parentSp != nil {
+		trace = parentSp.rec.trace
+	}
+	if trace == 0 {
+		trace = id // a true root starts its own causal tree
+	}
 	start := t.clock()
 	s := &Span{
 		t:        t,
 		parentSp: parentSp,
 		rec: spanRec{
-			id: t.nextID, parent: parent, proc: proc,
-			track: track, name: name, start: start,
+			id: id, parent: parent, trace: trace,
+			remoteParent: ctx.Parent, origin: ctx.Origin,
+			proc: proc, track: track, name: name, start: start,
 		},
 		frontier: start,
 	}
@@ -262,7 +325,8 @@ func (s *Span) CompleteChild(name string, dur time.Duration) *Span {
 	t.nextID++
 	start := s.frontier
 	rec := spanRec{
-		id: t.nextID, parent: s.rec.id, proc: s.rec.proc,
+		id: t.idBase | t.nextID, parent: s.rec.id, trace: s.rec.trace,
+		proc:  s.rec.proc,
 		track: s.rec.track, name: name, start: start, end: start + dur,
 	}
 	s.frontier = rec.end
@@ -434,6 +498,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if sp.parent != 0 {
 			args["parent"] = fmt.Sprintf("%d", sp.parent)
 		}
+		if sp.remoteParent != 0 {
+			args["remote_parent"] = fmt.Sprintf("%d", sp.remoteParent)
+			if sp.origin != "" {
+				args["origin"] = sp.origin
+			}
+			args["trace"] = fmt.Sprintf("%d", sp.trace)
+		}
 		for _, a := range sp.args {
 			args[a.key] = a.value
 		}
@@ -452,6 +523,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		// Cross-track parent → child arrow.
 		if p := byID[sp.parent]; p != nil && (p.proc != sp.proc || p.track != sp.track) {
 			emitFlow(p, sp)
+		}
+		// Remote parent resolved in this same store (in-process multi-node
+		// tracers, and merged cluster traces): draw the cross-process arrow.
+		if sp.remoteParent != 0 {
+			if p := byID[sp.remoteParent]; p != nil {
+				emitFlow(p, sp)
+			}
 		}
 	}
 	for _, f := range flows {

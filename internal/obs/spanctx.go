@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Cross-process trace context and the span-store export format.
+//
+// TraceContext is the compact (trace id, parent span id, origin node)
+// triple injected into overlay packets before they cross the wire, so a
+// receiving node's spans continue the originating causal tree instead of
+// starting fresh ones (Dapper-style propagation). Export is the JSON
+// document served by `GET /debug/trace/export`: one process's span store
+// plus the wall-clock anchors the fleet collector needs to skew-align
+// stores from independent machines into one cluster trace.
+
+// IDBaseFromString derives a SetIDBase namespace from a node identity
+// (typically the validator's public-key address): 32 hash bits in the
+// id's high half, leaving 2^32 sequential ids per process. Distinct
+// identities collide with probability 2^-32 per pair — negligible for
+// any deployable quorum — and the base is never zero, so namespaced ids
+// cannot alias the simulator's small sequential ids.
+func IDBaseFromString(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	b := binary.BigEndian.Uint32(h[:4])
+	if b == 0 {
+		b = 0x9e3779b9
+	}
+	return uint64(b) << 32
+}
+
+// TraceContext identifies a position in a causal span tree for
+// propagation across process boundaries. The zero value means "no
+// context" and is ignored everywhere.
+type TraceContext struct {
+	// Trace is the id of the root span that started the causal tree.
+	Trace uint64
+	// Parent is the id of the span that emitted the message carrying
+	// this context.
+	Parent uint64
+	// Origin names the node whose tracer allocated Parent.
+	Origin string
+}
+
+// IsZero reports whether the context carries no propagation state.
+func (c TraceContext) IsZero() bool { return c.Trace == 0 && c.Parent == 0 }
+
+// Context returns the span's propagation context for injection into an
+// outgoing message. Zero on a nil span.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: s.rec.trace, Parent: s.rec.id}
+}
+
+// SpanCount reports how many spans the tracer currently holds (finished
+// plus open); with Dropped it sizes the bounded store for metrics.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done) + len(t.open)
+}
+
+// ExportSchema versions the /debug/trace/export document.
+const ExportSchema = "stellar-trace-export/v1"
+
+// ExportSpan is one span in the export document. Times are nanoseconds on
+// the exporting tracer's clock (relative to its epoch).
+type ExportSpan struct {
+	ID           uint64            `json:"id"`
+	Parent       uint64            `json:"parent,omitempty"`
+	Trace        uint64            `json:"trace"`
+	RemoteParent uint64            `json:"remote_parent,omitempty"`
+	Origin       string            `json:"origin,omitempty"`
+	Proc         int               `json:"proc"`
+	Track        string            `json:"track"`
+	Name         string            `json:"name"`
+	StartNanos   int64             `json:"start_ns"`
+	EndNanos     int64             `json:"end_ns"`
+	Open         bool              `json:"open,omitempty"`
+	Args         map[string]string `json:"args,omitempty"`
+}
+
+// Export is one process's complete span store plus the clock anchors the
+// cluster collector uses for skew alignment: EpochUnixNanos maps the
+// tracer's relative timestamps onto absolute wall time (0 for virtual
+// clocks), and NowUnixNanos/NowNanos sample both clocks at export time so
+// the collector can estimate the remaining offset from the request RTT.
+type Export struct {
+	Schema         string       `json:"schema"`
+	Node           string       `json:"node"`
+	EpochUnixNanos int64        `json:"epoch_unix_ns"`
+	NowUnixNanos   int64        `json:"now_unix_ns"`
+	NowNanos       int64        `json:"now_ns"`
+	Dropped        uint64       `json:"dropped"`
+	Procs          []string     `json:"procs"`
+	Spans          []ExportSpan `json:"spans"`
+	Flows          [][2]uint64  `json:"flows,omitempty"`
+}
+
+// Export snapshots the tracer into the wire document. node names the
+// exporting process (its NodeID) for the merged trace. Safe on a nil
+// tracer (returns an empty document).
+func (t *Tracer) Export(node string) *Export {
+	out := &Export{Schema: ExportSchema, Node: node, Procs: []string{}, Spans: []ExportSpan{}}
+	if t == nil {
+		return out
+	}
+	spans, flows, procs := t.snapshot()
+	t.mu.Lock()
+	out.EpochUnixNanos = t.epochUnix
+	out.Dropped = t.dropped
+	t.mu.Unlock()
+	out.NowUnixNanos = time.Now().UnixNano()
+	out.NowNanos = t.clock().Nanoseconds()
+	out.Procs = append(out.Procs, procs...)
+	for _, sp := range spans {
+		es := ExportSpan{
+			ID: sp.id, Parent: sp.parent, Trace: sp.trace,
+			RemoteParent: sp.remoteParent, Origin: sp.origin,
+			Proc: sp.proc, Track: sp.track, Name: sp.name,
+			StartNanos: sp.start.Nanoseconds(), EndNanos: sp.end.Nanoseconds(),
+			Open: sp.open,
+		}
+		if len(sp.args) > 0 {
+			es.Args = make(map[string]string, len(sp.args))
+			for _, a := range sp.args {
+				es.Args[a.key] = a.value
+			}
+		}
+		out.Spans = append(out.Spans, es)
+	}
+	for _, f := range flows {
+		out.Flows = append(out.Flows, [2]uint64{f.from, f.to})
+	}
+	return out
+}
+
+// WriteExport streams the export document as JSON.
+func (t *Tracer) WriteExport(w io.Writer, node string) error {
+	return json.NewEncoder(w).Encode(t.Export(node))
+}
+
+// DecodeExport parses one export document, rejecting unknown schemas.
+func DecodeExport(r io.Reader) (*Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, err
+	}
+	if e.Schema != ExportSchema {
+		return nil, &SchemaError{Got: e.Schema, Want: ExportSchema}
+	}
+	return &e, nil
+}
+
+// SchemaError reports a schema-version mismatch in a decoded document.
+type SchemaError struct{ Got, Want string }
+
+func (e *SchemaError) Error() string {
+	return "obs: schema " + e.Got + " (want " + e.Want + ")"
+}
+
+// RegisterTracerMetrics exposes the tracer's bounded span store on the
+// registry: trace_spans_recorded (current store size) and
+// trace_spans_dropped (spans discarded at the capacity limit), refreshed
+// at every scrape. Safe to call with a nil tracer — the gauges then read
+// zero, so /metrics keeps a stable shape whether tracing is on or off.
+func RegisterTracerMetrics(reg *Registry, t *Tracer) {
+	recorded := reg.Gauge("trace_spans_recorded",
+		"Spans currently held in the bounded trace store (finished plus open).")
+	dropped := reg.Gauge("trace_spans_dropped",
+		"Spans discarded because the trace store hit its capacity limit.")
+	reg.AddScrapeHook(func() {
+		recorded.Set(float64(t.SpanCount()))
+		dropped.Set(float64(t.Dropped()))
+	})
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDBaseFromString(t *testing.T) {
+	a := IDBaseFromString("node-a")
+	b := IDBaseFromString("node-b")
+	if a == 0 || b == 0 {
+		t.Fatal("id base must never be zero")
+	}
+	if a == b {
+		t.Fatal("distinct identities produced the same id base")
+	}
+	if a&0xFFFFFFFF != 0 || b&0xFFFFFFFF != 0 {
+		t.Fatal("id base must occupy only the high 32 bits")
+	}
+	if IDBaseFromString("node-a") != a {
+		t.Fatal("id base is not deterministic")
+	}
+}
+
+func TestTraceContextZero(t *testing.T) {
+	var ctx TraceContext
+	if !ctx.IsZero() {
+		t.Fatal("zero TraceContext must report IsZero")
+	}
+	if (TraceContext{Trace: 1}).IsZero() {
+		t.Fatal("non-zero TraceContext reported IsZero")
+	}
+	var sp *Span
+	if got := sp.Context(); !got.IsZero() {
+		t.Fatal("nil span must yield a zero context")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	clock := time.Duration(0)
+	tr := NewTracer(func() time.Duration { return clock })
+	tr.SetIDBase(IDBaseFromString("export-node"))
+	p := tr.Proc("export-node")
+
+	root := p.Span("txs", "tx abc")
+	clock = 5 * time.Millisecond
+	child := root.Child("tx-pending")
+	clock = 9 * time.Millisecond
+	child.End()
+	remote := p.RemoteSpan("txs", "tx remote", TraceContext{Trace: 42, Parent: 7, Origin: "elsewhere"})
+	clock = 12 * time.Millisecond
+	remote.End()
+	// root stays open: exports must include in-flight spans.
+
+	var buf bytes.Buffer
+	if err := tr.WriteExport(&buf, "export-node"); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := DecodeExport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Schema != ExportSchema || exp.Node != "export-node" {
+		t.Fatalf("export header %q/%q", exp.Schema, exp.Node)
+	}
+	if len(exp.Spans) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(exp.Spans))
+	}
+	byName := map[string]*ExportSpan{}
+	for i := range exp.Spans {
+		byName[exp.Spans[i].Name] = &exp.Spans[i]
+	}
+	r, c, rm := byName["tx abc"], byName["tx-pending"], byName["tx remote"]
+	if r == nil || c == nil || rm == nil {
+		t.Fatalf("missing spans in export: %v", byName)
+	}
+	if !r.Open || c.Open || rm.Open {
+		t.Fatal("open/closed flags wrong in export")
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent %d, want %d", c.Parent, r.ID)
+	}
+	if r.Trace != r.ID || c.Trace != r.ID {
+		t.Fatal("local spans must inherit the root's trace id")
+	}
+	if rm.Trace != 42 || rm.RemoteParent != 7 || rm.Origin != "elsewhere" {
+		t.Fatalf("remote span lost its context: %+v", rm)
+	}
+	if r.ID&0xFFFFFFFF00000000 != IDBaseFromString("export-node") {
+		t.Fatalf("span id %d not namespaced by the id base", r.ID)
+	}
+	if exp.EpochUnixNanos != 0 {
+		t.Fatal("virtual-clock tracer must not claim a wall epoch")
+	}
+}
+
+func TestDecodeExportRejectsWrongSchema(t *testing.T) {
+	_, err := DecodeExport(strings.NewReader(`{"schema":"bogus/v9","node":"x"}`))
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SchemaError, got %v", err)
+	}
+	if se.Got != "bogus/v9" || se.Want != ExportSchema {
+		t.Fatalf("schema error %+v", se)
+	}
+}
+
+func TestTracerLimitAndMetrics(t *testing.T) {
+	tr := NewTracer(func() time.Duration { return 0 })
+	tr.SetLimit(2)
+	p := tr.Proc("bounded")
+	for i := 0; i < 5; i++ {
+		p.Span("work", "span").End()
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	exp := tr.Export("bounded")
+	if exp.Dropped != 3 || len(exp.Spans) != 2 {
+		t.Fatalf("export dropped=%d spans=%d, want 3 and 2", exp.Dropped, len(exp.Spans))
+	}
+
+	reg := NewRegistry()
+	RegisterTracerMetrics(reg, tr)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace_spans_recorded 2") {
+		t.Errorf("missing trace_spans_recorded:\n%s", out)
+	}
+	if !strings.Contains(out, "trace_spans_dropped 3") {
+		t.Errorf("missing trace_spans_dropped:\n%s", out)
+	}
+}
+
+func TestRegisterTracerMetricsNilTracer(t *testing.T) {
+	reg := NewRegistry()
+	RegisterTracerMetrics(reg, nil) // tracing off: metrics still present, zero
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace_spans_dropped 0") {
+		t.Errorf("nil tracer must still export trace_spans_dropped:\n%s", buf.String())
+	}
+}

@@ -62,6 +62,12 @@ type Packet struct {
 	// Origin is the node that first broadcast the packet; structured
 	// multicast (multicast.go) builds its tree rooted here.
 	Origin simnet.Addr
+	// Trace is the propagated span context (trace id + emitting span id);
+	// zero when the sender was not tracing. It rides the wire so receiving
+	// nodes continue the originating causal tree, and is deliberately
+	// excluded from the dedup identity — two floods of the same content
+	// are the same packet whatever spans emitted them.
+	Trace obs.TraceContext
 
 	// Catch-up fields (point-to-point, not flooded).
 	CatchupFrom  uint32
@@ -152,6 +158,11 @@ type Overlay struct {
 	// OnCatchup handles point-to-point catch-up packets; from identifies
 	// the peer to reply to.
 	OnCatchup func(from simnet.Addr, p *Packet)
+	// OnTraceCtx, when set, observes every novel flooded packet before its
+	// payload callback fires, so the herder can extract the propagated
+	// trace context and open continuation spans. It is observability-only:
+	// consensus state never depends on it.
+	OnTraceCtx func(p *Packet, from simnet.Addr)
 
 	// Counters.
 	FloodsSent     uint64
@@ -283,14 +294,26 @@ func (o *Overlay) markSeen(id stellarcrypto.Hash) bool {
 
 // BroadcastEnvelope floods a locally generated SCP envelope.
 func (o *Overlay) BroadcastEnvelope(env *scp.Envelope) {
-	p := &Packet{Kind: KindEnvelope, Envelope: env, TTL: DefaultTTL, Origin: o.self}
+	o.BroadcastEnvelopeCtx(env, obs.TraceContext{})
+}
+
+// BroadcastEnvelopeCtx floods an envelope carrying the emitting span's
+// trace context so receivers continue the slot's causal tree.
+func (o *Overlay) BroadcastEnvelopeCtx(env *scp.Envelope, ctx obs.TraceContext) {
+	p := &Packet{Kind: KindEnvelope, Envelope: env, TTL: DefaultTTL, Origin: o.self, Trace: ctx}
 	o.markSeen(p.id(o.networkID))
 	o.disseminate(p, "")
 }
 
 // BroadcastTx floods a locally submitted transaction.
 func (o *Overlay) BroadcastTx(tx *ledger.Transaction) {
-	p := &Packet{Kind: KindTx, Tx: tx, TTL: DefaultTTL, Origin: o.self}
+	o.BroadcastTxCtx(tx, obs.TraceContext{})
+}
+
+// BroadcastTxCtx floods a transaction carrying the submitting span's
+// trace context.
+func (o *Overlay) BroadcastTxCtx(tx *ledger.Transaction, ctx obs.TraceContext) {
+	p := &Packet{Kind: KindTx, Tx: tx, TTL: DefaultTTL, Origin: o.self, Trace: ctx}
 	o.markSeen(p.id(o.networkID))
 	o.disseminate(p, "")
 }
@@ -303,7 +326,13 @@ func (o *Overlay) SendDirect(to simnet.Addr, p *Packet) {
 // BroadcastTxSet floods a proposed transaction set so peers can validate
 // and apply values that reference its hash (§5.3).
 func (o *Overlay) BroadcastTxSet(ts *ledger.TxSet) {
-	p := &Packet{Kind: KindTxSet, TxSet: ts, TTL: DefaultTTL, Origin: o.self}
+	o.BroadcastTxSetCtx(ts, obs.TraceContext{})
+}
+
+// BroadcastTxSetCtx floods a tx set carrying the proposing slot span's
+// trace context.
+func (o *Overlay) BroadcastTxSetCtx(ts *ledger.TxSet, ctx obs.TraceContext) {
+	p := &Packet{Kind: KindTxSet, TxSet: ts, TTL: DefaultTTL, Origin: o.self, Trace: ctx}
 	o.markSeen(p.id(o.networkID))
 	o.disseminate(p, "")
 }
@@ -344,6 +373,9 @@ func (o *Overlay) HandleMessage(from simnet.Addr, msg any, size int) {
 	o.Delivered++
 	if o.ins != nil {
 		o.ins.delivered.With(p.Kind.String()).Inc()
+	}
+	if o.OnTraceCtx != nil {
+		o.OnTraceCtx(p, from)
 	}
 	switch p.Kind {
 	case KindEnvelope:

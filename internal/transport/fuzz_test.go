@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"stellar/internal/obs"
 	"stellar/internal/overlay"
 )
 
@@ -27,6 +28,19 @@ func frameSeeds() [][]byte {
 		add(FramePacket, p)
 	}
 	if p, err := EncodePacket(&overlay.Packet{Kind: overlay.KindEnvelope, Envelope: testEnvelope(), TTL: 4, Origin: "G"}); err == nil {
+		add(FramePacket, p)
+	}
+	// Packets carrying a propagated trace context (v2 wire field).
+	if p, err := EncodePacket(&overlay.Packet{
+		Kind: overlay.KindEnvelope, Envelope: testEnvelope(), TTL: 4, Origin: "G",
+		Trace: obs.TraceContext{Trace: 0x8000000000000001, Parent: 0x8000000000000007},
+	}); err == nil {
+		add(FramePacket, p)
+	}
+	if p, err := EncodePacket(&overlay.Packet{
+		Kind: overlay.KindCatchupReq, CatchupFrom: 9, TTL: 1, Origin: "G",
+		Trace: obs.TraceContext{Trace: ^uint64(0), Parent: 1},
+	}); err == nil {
 		add(FramePacket, p)
 	}
 	seeds = append(seeds,

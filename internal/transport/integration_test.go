@@ -127,9 +127,17 @@ func TestThreeNodeTCPQuorum(t *testing.T) {
 		}
 	}
 
-	// The transport counters must reflect real traffic.
+	// The transport counters must reflect real traffic, attributed to the
+	// authenticated remote identities.
 	for i, mgr := range mgrs {
-		if got := mgr.ins.framesIn.Value(); got == 0 {
+		var framesIn float64
+		for j, kp := range kps {
+			if j == i {
+				continue
+			}
+			framesIn += mgr.ins.framesIn.With(kp.Public.Address()).Value()
+		}
+		if framesIn == 0 {
 			t.Errorf("node %d: transport_frames_in_total = 0 after %d ledgers", i, targetSeq)
 		}
 		if got := mgr.ins.peers.Value(); got != n-1 {

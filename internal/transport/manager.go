@@ -47,18 +47,22 @@ type Config struct {
 	OnPeerDown func(simnet.Addr)
 }
 
-// instruments are the transport's obs counters and gauges.
+// instruments are the transport's obs counters and gauges. Traffic
+// counters are labeled by remote NodeID so a fleet view can tell which
+// link is slow, shedding, or flapping; connection-establishment failures
+// stay aggregate (before the handshake there is no authenticated identity
+// to label by).
 type instruments struct {
 	peers             *obs.Gauge
 	handshakeFailures *obs.Counter
 	dialFailures      *obs.Counter
-	reconnects        *obs.Counter
-	framesIn          *obs.Counter
-	framesOut         *obs.Counter
-	bytesIn           *obs.Counter
-	bytesOut          *obs.Counter
-	queueSheds        *obs.Counter
 	decodeErrors      *obs.Counter
+	reconnects        *obs.CounterVec // {peer}
+	framesIn          *obs.CounterVec // {peer}
+	framesOut         *obs.CounterVec // {peer}
+	bytesIn           *obs.CounterVec // {peer}
+	bytesOut          *obs.CounterVec // {peer}
+	queueSheds        *obs.CounterVec // {peer}
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -66,13 +70,30 @@ func newInstruments(reg *obs.Registry) *instruments {
 		peers:             reg.Gauge("transport_peers", "Authenticated peer connections currently up."),
 		handshakeFailures: reg.Counter("transport_handshake_failures_total", "Connections dropped during the hello/auth handshake."),
 		dialFailures:      reg.Counter("transport_dial_failures_total", "Outbound dial attempts that failed to connect."),
-		reconnects:        reg.Counter("transport_reconnects_total", "Successful dials that replaced a previously lost connection."),
-		framesIn:          reg.Counter("transport_frames_in_total", "Frames received from authenticated peers."),
-		framesOut:         reg.Counter("transport_frames_out_total", "Frames written to authenticated peers."),
-		bytesIn:           reg.Counter("transport_bytes_in_total", "Payload bytes received from authenticated peers."),
-		bytesOut:          reg.Counter("transport_bytes_out_total", "Wire bytes written to authenticated peers."),
-		queueSheds:        reg.Counter("transport_queue_sheds_total", "Outbound frames shed because a peer's send queue was full."),
 		decodeErrors:      reg.Counter("transport_decode_errors_total", "Inbound frames dropped because they failed to decode."),
+		reconnects:        reg.CounterVec("transport_reconnects_total", "Successful dials that replaced a previously lost connection.", "peer"),
+		framesIn:          reg.CounterVec("transport_frames_in_total", "Frames received from authenticated peers.", "peer"),
+		framesOut:         reg.CounterVec("transport_frames_out_total", "Frames written to authenticated peers.", "peer"),
+		bytesIn:           reg.CounterVec("transport_bytes_in_total", "Payload bytes received from authenticated peers.", "peer"),
+		bytesOut:          reg.CounterVec("transport_bytes_out_total", "Wire bytes written to authenticated peers.", "peer"),
+		queueSheds:        reg.CounterVec("transport_queue_sheds_total", "Outbound frames shed because a peer's send queue was full.", "peer"),
+	}
+}
+
+// peerInstruments are one remote's resolved counter children, looked up
+// once at registration so the per-frame path costs no label lookups.
+type peerInstruments struct {
+	framesIn, framesOut, bytesIn, bytesOut, queueSheds *obs.Counter
+}
+
+func (ins *instruments) forPeer(id simnet.Addr) *peerInstruments {
+	peer := string(id)
+	return &peerInstruments{
+		framesIn:   ins.framesIn.With(peer),
+		framesOut:  ins.framesOut.With(peer),
+		bytesIn:    ins.bytesIn.With(peer),
+		bytesOut:   ins.bytesOut.With(peer),
+		queueSheds: ins.queueSheds.With(peer),
 	}
 }
 
@@ -220,7 +241,7 @@ func (m *Manager) route(from, to simnet.Addr, msg any, size int) {
 		return
 	}
 	if shed := p.enqueue(frame); shed > 0 {
-		m.ins.queueSheds.Add(float64(shed))
+		p.ins.queueSheds.Add(float64(shed))
 	}
 }
 
@@ -240,7 +261,7 @@ func (m *Manager) acceptLoop(ln net.Listener) {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			m.runConn(conn, false)
+			m.runConn(conn, false, false)
 		}()
 	}
 }
@@ -268,10 +289,7 @@ func (m *Manager) dialLoop(addr string) {
 			backoff = m.nextBackoff(backoff)
 			continue
 		}
-		if connected {
-			m.ins.reconnects.Inc()
-		}
-		if m.runConn(conn, true) {
+		if m.runConn(conn, true, connected) {
 			connected = true
 			backoff = m.cfg.BackoffBase
 		} else if !m.sleep(backoff) {
@@ -303,8 +321,10 @@ func (m *Manager) sleep(d time.Duration) bool {
 
 // runConn authenticates one connection and, if it wins peer registration,
 // serves it until it dies. Returns whether the connection authenticated
-// and registered (dial loops use this to reset backoff).
-func (m *Manager) runConn(conn net.Conn, dialed bool) bool {
+// and registered (dial loops use this to reset backoff). reconnect marks
+// a dial that follows an earlier successful session, attributed to the
+// authenticated identity once the handshake names it.
+func (m *Manager) runConn(conn net.Conn, dialed, reconnect bool) bool {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -315,7 +335,11 @@ func (m *Manager) runConn(conn net.Conn, dialed bool) bool {
 		conn.Close()
 		return false
 	}
+	if reconnect {
+		m.ins.reconnects.With(string(id)).Inc()
+	}
 	p := newPeer(id, conn, dialed, m.cfg.QueueSize)
+	p.ins = m.ins.forPeer(id)
 	if !m.register(p) {
 		conn.Close()
 		// The identity is connected through another socket; wait for that
@@ -340,8 +364,8 @@ func (m *Manager) runConn(conn net.Conn, dialed bool) bool {
 	go func() {
 		defer m.wg.Done()
 		p.writeLoop(func(n int) {
-			m.ins.framesOut.Inc()
-			m.ins.bytesOut.Add(float64(n))
+			p.ins.framesOut.Inc()
+			p.ins.bytesOut.Add(float64(n))
 		})
 		p.close()
 	}()
@@ -426,8 +450,8 @@ func (m *Manager) readLoop(p *peer) {
 		if err != nil {
 			return
 		}
-		m.ins.framesIn.Inc()
-		m.ins.bytesIn.Add(float64(len(payload)))
+		p.ins.framesIn.Inc()
+		p.ins.bytesIn.Add(float64(len(payload)))
 		if typ != FramePacket {
 			m.ins.decodeErrors.Inc()
 			m.log.Warn("unexpected frame type after handshake", "peer", string(p.id), "type", typ.String())

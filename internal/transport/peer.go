@@ -17,6 +17,9 @@ type peer struct {
 	id     simnet.Addr
 	conn   net.Conn
 	dialed bool // we initiated the connection (tie-break bookkeeping)
+	// ins holds this remote's resolved metric children (set by the
+	// manager right after the handshake, before any traffic flows).
+	ins *peerInstruments
 
 	mu     sync.Mutex
 	cond   *sync.Cond

@@ -380,8 +380,8 @@ func TestManagerConnectSendReconnect(t *testing.T) {
 	ma.peerByID(mb.Self()).conn.Close()
 	waitFor(t, "peers down", func() bool { return ma.NumPeers() == 0 })
 	waitFor(t, "reconnect", func() bool { return ma.NumPeers() == 1 && mb.NumPeers() == 1 })
-	if got := mb.ins.reconnects.Value(); got < 1 {
-		t.Fatalf("transport_reconnects_total = %v, want >= 1", got)
+	if got := mb.ins.reconnects.With(string(ma.Self())).Value(); got < 1 {
+		t.Fatalf("transport_reconnects_total{peer=%q} = %v, want >= 1", ma.Self(), got)
 	}
 }
 

@@ -13,7 +13,8 @@ import (
 
 // ProtocolVersion is the overlay wire protocol version carried in the
 // hello; peers speaking a different version are dropped at handshake.
-const ProtocolVersion = 1
+// v2 added the propagated trace context (two uint64s after Origin).
+const ProtocolVersion = 2
 
 // Hello opens the handshake in both directions: each side announces its
 // protocol version, network, claimed identity, and a fresh random
@@ -111,6 +112,13 @@ func EncodePacket(p *overlay.Packet) ([]byte, error) {
 	e.PutUint32(uint32(p.Kind))
 	e.PutUint32(uint32(p.TTL))
 	e.PutString(string(p.Origin))
+	// Trace context rides unconditionally (zeros when untraced) so the
+	// canonical-encoding invariant — decode∘encode is the identity on
+	// accepted payloads — holds without an optional-field marker. The
+	// context's origin node is not encoded: it is always Packet.Origin
+	// (forwarders relay both unchanged), so receivers derive it.
+	e.PutUint64(p.Trace.Trace)
+	e.PutUint64(p.Trace.Parent)
 	switch p.Kind {
 	case overlay.KindEnvelope:
 		if p.Envelope == nil {
@@ -166,6 +174,12 @@ func DecodePacket(payload []byte) (*overlay.Packet, error) {
 		return nil, err
 	}
 	p := &overlay.Packet{Kind: overlay.Kind(kind), TTL: int(ttl), Origin: simnet.Addr(origin)}
+	if p.Trace.Trace, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if p.Trace.Parent, err = d.Uint64(); err != nil {
+		return nil, err
+	}
 	switch p.Kind {
 	case overlay.KindEnvelope:
 		if p.Envelope, err = scp.DecodeEnvelopeXDR(d); err != nil {
