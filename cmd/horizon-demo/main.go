@@ -48,6 +48,8 @@ func main() {
 	verbose := flag.Bool("v", false, "structured node logging to stderr")
 	var common cliutil.CommonFlags
 	common.Register(flag.CommandLine)
+	var ingress cliutil.IngressFlags
+	ingress.Register(flag.CommandLine)
 	flag.Parse()
 	if *validators < 1 {
 		fmt.Fprintln(os.Stderr, "error: -validators must be at least 1")
@@ -96,13 +98,15 @@ func main() {
 			ob.Log = rootLog.With(slog.Int("node", i))
 		}
 		node, err := herder.New(net, herder.Config{
-			Keys:            kp,
-			QSet:            qset,
-			NetworkID:       networkID,
-			LedgerInterval:  *interval,
-			VerifyWorkers:   common.VerifyWorkers,
-			VerifyCacheSize: common.VerifyCache,
-			Obs:             ob,
+			Keys:                kp,
+			QSet:                qset,
+			NetworkID:           networkID,
+			LedgerInterval:      *interval,
+			VerifyWorkers:       common.VerifyWorkers,
+			VerifyCacheSize:     common.VerifyCache,
+			MempoolMaxTxs:       ingress.MempoolMax,
+			MempoolMaxPerSource: ingress.MempoolPerSource,
+			Obs:                 ob,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -139,6 +143,12 @@ func main() {
 
 	srv := horizon.New(node, net, networkID)
 	srv.EnablePprof = *pprofFlag
+	srv.SetIngress(horizon.IngressConfig{
+		SourceRate:  ingress.SubmitRate,
+		SourceBurst: ingress.SubmitBurst,
+		IPRate:      ingress.SubmitIPRate,
+		IPBurst:     ingress.SubmitIPBurst,
+	})
 
 	// Drive virtual time in near-real-time under the server lock until
 	// shutdown is requested.

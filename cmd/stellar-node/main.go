@@ -52,17 +52,20 @@ func main() {
 	verbose := flag.Bool("v", false, "structured node and transport logging to stderr")
 	var common cliutil.CommonFlags
 	common.Register(flag.CommandLine)
+	var ingress cliutil.IngressFlags
+	ingress.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(*listen, *peersFlag, *seed, *quorumFlag, *horizonAddr, *metricsAddr,
-		*network, *interval, *drift, *queueSize, *verbose, &common); err != nil {
+		*network, *interval, *drift, *queueSize, *verbose, &common, &ingress); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network string,
-	interval, drift time.Duration, queueSize int, verbose bool, common *cliutil.CommonFlags) error {
+	interval, drift time.Duration, queueSize int, verbose bool,
+	common *cliutil.CommonFlags, ingress *cliutil.IngressFlags) error {
 
 	labels := strings.Split(quorumFlag, ",")
 	ids := make([]fba.NodeID, 0, len(labels))
@@ -114,14 +117,16 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 
 	loop := transport.NewLoop()
 	node, err := herder.New(loop, herder.Config{
-		Keys:              keys,
-		QSet:              qset,
-		NetworkID:         networkID,
-		LedgerInterval:    interval,
-		MaxCloseTimeDrift: drift,
-		VerifyWorkers:     common.VerifyWorkers,
-		VerifyCacheSize:   common.VerifyCache,
-		Obs:               ob,
+		Keys:                keys,
+		QSet:                qset,
+		NetworkID:           networkID,
+		LedgerInterval:      interval,
+		MaxCloseTimeDrift:   drift,
+		VerifyWorkers:       common.VerifyWorkers,
+		VerifyCacheSize:     common.VerifyCache,
+		MempoolMaxTxs:       ingress.MempoolMax,
+		MempoolMaxPerSource: ingress.MempoolPerSource,
+		Obs:                 ob,
 	})
 	if err != nil {
 		return err
@@ -166,6 +171,12 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 	// API is wanted, exposing /metrics, /debug/quorum, and /ledgers.
 	srv := horizon.New(node, loop, networkID)
 	srv.Mu = loop.Locker()
+	srv.SetIngress(horizon.IngressConfig{
+		SourceRate:  ingress.SubmitRate,
+		SourceBurst: ingress.SubmitBurst,
+		IPRate:      ingress.SubmitIPRate,
+		IPBurst:     ingress.SubmitIPBurst,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

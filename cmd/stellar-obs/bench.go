@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"stellar/internal/ledger"
@@ -20,31 +21,77 @@ import (
 // merged cross-node trace, tx/s from the herder's applied counters.
 //
 // Horizon derives each transaction's sequence number from current account
-// state, so one account can land at most one transaction per ledger. The
-// driver therefore fans load across -accounts funded bench accounts
-// (created from the demo-master genesis account) and submits one payment
-// per account per observed ledger close, round-robin across the nodes.
+// state plus its pending pool, so one account can keep a handful of
+// payments in flight. The driver fans load across -accounts funded bench
+// accounts (created from the demo-master genesis account) and submits one
+// payment per account per observed ledger close, round-robin across the
+// nodes.
+//
+// With -probe the driver instead ramps offered load step by step until
+// the hardened ingress pushes back with 429s, and reports the sustained
+// admission ceiling plus the observed backpressure contract.
 
 type benchClient struct {
 	http *http.Client
 }
 
-func (b *benchClient) submit(base string, req any) error {
+// submitResult classifies one submission: the admission pipeline's 429s
+// and 503s are measured outcomes, not request failures.
+type submitResult struct {
+	Status     int
+	Hash       string
+	Err        string
+	RetryAfter int64  // seconds, from the Retry-After header
+	MinFee     string // stroops, from the 429 body's surge-fee hint
+}
+
+// accepted reports whether the submission entered the pool (202) or was
+// already there (200).
+func (r *submitResult) accepted() bool {
+	return r.Status == http.StatusAccepted || r.Status == http.StatusOK
+}
+
+// backpressure reports a deliberate push-back (429/503) rather than an
+// acceptance or a hard failure.
+func (r *submitResult) backpressure() bool {
+	return r.Status == http.StatusTooManyRequests || r.Status == http.StatusServiceUnavailable
+}
+
+// submit posts one transaction and classifies the response. Only
+// transport failures return an error.
+func (b *benchClient) submit(base string, req any) (*submitResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := b.http.Post(base+"/transactions", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("submit: status %d: %s", resp.StatusCode, e.Error)
+	res := &submitResult{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		res.RetryAfter, _ = strconv.ParseInt(ra, 10, 64)
+	}
+	var payload struct {
+		Hash   string `json:"hash"`
+		Error  string `json:"error"`
+		MinFee string `json:"min_fee"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&payload)
+	res.Hash, res.Err, res.MinFee = payload.Hash, payload.Error, payload.MinFee
+	return res, nil
+}
+
+// mustAccept submits and fails unless the transaction was admitted —
+// the right contract for setup transactions like funding.
+func (b *benchClient) mustAccept(base string, req any) error {
+	res, err := b.submit(base, req)
+	if err != nil {
+		return err
+	}
+	if !res.accepted() {
+		return fmt.Errorf("submit: status %d: %s", res.Status, res.Err)
 	}
 	return nil
 }
@@ -68,6 +115,18 @@ func benchAcctID(i int) string {
 	return string(ledger.AccountIDFromPublicKey(kp.Public))
 }
 
+// benchPayment builds the i-th bench account's unit payment to its ring
+// neighbor.
+func benchPayment(i, accounts int) submitReq {
+	return submitReq{
+		SourceSeed: benchAcctLabel(i),
+		Operations: []submitOp{{
+			Type: "payment", Destination: benchAcctID((i + 1) % accounts),
+			Asset: "native", Amount: "1",
+		}},
+	}
+}
+
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	nodes := targetsFlag(fs)
@@ -77,6 +136,11 @@ func cmdBench(args []string) error {
 	traceOut := fs.String("trace-out", "", "also write the merged Perfetto trace here")
 	master := fs.String("master", "demo-master", "funding account seed label")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	probe := fs.Bool("probe", false, "ramp offered load until the ingress pushes back; report the ceiling")
+	probeStart := fs.Float64("probe-start", 4, "probe: first step's offered rate (tx/s)")
+	probeFactor := fs.Float64("probe-factor", 2, "probe: offered-rate multiplier per step")
+	probeStep := fs.Duration("probe-step", 5*time.Second, "probe: duration of each load step")
+	probeMaxSteps := fs.Int("probe-max-steps", 8, "probe: step cap if backpressure never appears")
 	fs.Parse(args)
 	targets, err := parseTargets(*nodes)
 	if err != nil {
@@ -84,6 +148,9 @@ func cmdBench(args []string) error {
 	}
 	if *accounts < 1 {
 		return fmt.Errorf("bench: need at least one account")
+	}
+	if *probe && (*probeStart <= 0 || *probeFactor <= 1 || *probeStep <= 0 || *probeMaxSteps < 1) {
+		return fmt.Errorf("bench: probe needs start > 0, factor > 1, step > 0, max-steps >= 1")
 	}
 
 	c := collect.NewClient(*timeout)
@@ -99,42 +166,67 @@ func cmdBench(args []string) error {
 			Type: "create_account", Destination: benchAcctID(i), Amount: "1000",
 		})
 	}
-	if err := b.submit(primary.URL, fund); err != nil {
+	if err := b.mustAccept(primary.URL, fund); err != nil {
 		return fmt.Errorf("funding: %w", err)
 	}
 	if err := waitForAccount(b, primary.URL, benchAcctID(*accounts-1), 60*time.Second); err != nil {
 		return err
 	}
 
-	// Phase 2: drive one payment per account per observed ledger close for
-	// the load window, recording the wall time each new ledger appeared.
 	start := c.ScrapeAll(targets)
 	for _, s := range start {
 		if s.Err != nil {
 			return fmt.Errorf("scrape %s: %v", s.Target.URL, s.Err)
 		}
 	}
+
+	if *probe {
+		return runProbe(c, b, targets, start, probeConfig{
+			accounts: *accounts, startRate: *probeStart, factor: *probeFactor,
+			step: *probeStep, maxSteps: *probeMaxSteps,
+			out: *out, traceOut: *traceOut,
+		})
+	}
+
+	// Phase 2: drive one payment per account per observed ledger close for
+	// the load window, recording the wall time each new ledger appeared.
 	startSeq := start[0].Ledger.Sequence
 	fmt.Fprintf(os.Stderr, "bench: driving load for %s from ledger %d...\n", *duration, startSeq)
 
 	var (
-		closesAt  []time.Time
-		submitted int
-		lastSeq   = startSeq
-		t0        = time.Now()
+		closesAt     []time.Time
+		submitted    int
+		accepted     int
+		rejected429  int
+		rejected503  int
+		backoffUntil time.Time
+		lastSeq      = startSeq
+		t0           = time.Now()
 	)
 	submitRound := func() {
+		// Backpressure from a previous round parks the whole driver until
+		// the server-suggested retry time: offered load yields instead of
+		// hammering a saturated ingress.
+		if time.Now().Before(backoffUntil) {
+			return
+		}
 		for i := 0; i < *accounts; i++ {
-			req := submitReq{
-				SourceSeed: benchAcctLabel(i),
-				Operations: []submitOp{{
-					Type: "payment", Destination: benchAcctID((i + 1) % *accounts),
-					Asset: "native", Amount: "1",
-				}},
-			}
 			node := targets[(submitted+i)%len(targets)]
-			if err := b.submit(node.URL, req); err == nil {
-				submitted++
+			res, err := b.submit(node.URL, benchPayment(i, *accounts))
+			if err != nil {
+				continue
+			}
+			submitted++
+			switch {
+			case res.accepted():
+				accepted++
+			case res.Status == http.StatusTooManyRequests:
+				rejected429++
+			case res.Status == http.StatusServiceUnavailable:
+				rejected503++
+			}
+			if res.backpressure() && res.RetryAfter > 0 {
+				backoffUntil = time.Now().Add(time.Duration(res.RetryAfter) * time.Second)
 			}
 		}
 	}
@@ -187,6 +279,9 @@ func cmdBench(args []string) error {
 			DurationSeconds: elapsed,
 			LedgersClosed:   ledgers,
 			TxSubmitted:     submitted,
+			TxAccepted:      accepted,
+			TxRejected429:   rejected429,
+			TxRejected503:   rejected503,
 			TxApplied:       int(applied),
 			TxPerSecond:     applied / elapsed,
 			CloseInterval:   collect.Summarize(intervals),
@@ -198,8 +293,9 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"bench: %d ledgers, %d/%d txs applied (%.1f tx/s), close p50 %.3fs, submit→applied p50 %.3fs (%d samples, %d cross-node traces)\n",
+		"bench: %d ledgers, %d/%d txs applied (%.1f tx/s, %d×429 %d×503), close p50 %.3fs, submit→applied p50 %.3fs (%d samples, %d cross-node traces)\n",
 		ledgers, int(applied), submitted, report.Cluster.TxPerSecond,
+		rejected429, rejected503,
 		report.Cluster.CloseInterval.P50, report.Cluster.SubmitToApplied.P50,
 		report.Cluster.SubmitToApplied.Count, crossNode)
 
@@ -210,6 +306,158 @@ func cmdBench(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "bench: merged trace → %s (%d spans, %d cross-node links)\n",
 			*traceOut, stats.SpansOut, stats.CrossLinks)
+	}
+	return nil
+}
+
+type probeConfig struct {
+	accounts  int
+	startRate float64
+	factor    float64
+	step      time.Duration
+	maxSteps  int
+	out       string
+	traceOut  string
+}
+
+// runProbe ramps offered load geometrically until the ingress answers
+// with 429s (or the step cap), then verifies the backpressure contract
+// and that every accepted transaction eventually applied.
+func runProbe(c *collect.Client, b *benchClient, targets []collect.Target, start []*collect.Scrape, cfg probeConfig) error {
+	primary := targets[0]
+	startSeq := start[0].Ledger.Sequence
+	startApplied := start[0].Metrics.Sum("herder_tx_per_ledger_sum")
+
+	pb := &collect.ProbeBench{RetryAfterValid: true}
+	var acceptedNew int // 202s only — the promises we audit after draining
+	rate := cfg.startRate
+	acct := 0
+	t0 := time.Now()
+	for stepIdx := 0; stepIdx < cfg.maxSteps; stepIdx++ {
+		fmt.Fprintf(os.Stderr, "bench: probe step %d at %.1f tx/s...\n", stepIdx+1, rate)
+		st := collect.ProbeStep{
+			OfferedTxPerSecond: rate,
+			DurationSeconds:    cfg.step.Seconds(),
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		stepEnd := time.Now().Add(cfg.step)
+		next := time.Now()
+		for time.Now().Before(stepEnd) {
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+				continue
+			}
+			next = next.Add(interval)
+			// Pin each account to one node: sequence chaining consults the
+			// receiving node's pool, so spraying one account across nodes
+			// would race the flood and double-accept identical payments.
+			src := acct % cfg.accounts
+			node := targets[src%len(targets)]
+			res, err := b.submit(node.URL, benchPayment(src, cfg.accounts))
+			acct++
+			st.Submitted++
+			switch {
+			case err != nil:
+				st.Errors++
+			case res.Status == http.StatusAccepted:
+				st.Accepted++
+				acceptedNew++
+			case res.Status == http.StatusOK:
+				st.Accepted++
+			case res.Status == http.StatusTooManyRequests:
+				st.Rejected429++
+				if res.RetryAfter < 1 {
+					pb.RetryAfterValid = false
+				}
+				if res.MinFee != "" {
+					pb.MinFeeHint = res.MinFee
+				}
+			case res.Status == http.StatusServiceUnavailable:
+				st.Rejected503++
+				if res.RetryAfter < 1 {
+					pb.RetryAfterValid = false
+				}
+			default:
+				st.Errors++
+			}
+		}
+		pb.Steps = append(pb.Steps, st)
+		pb.Accepted += st.Accepted
+		pb.Rejected429 += st.Rejected429
+		pb.Rejected503 += st.Rejected503
+		if st.Rejected429 > 0 {
+			pb.BackpressureTxPerSecond = rate
+			break
+		}
+		pb.CeilingTxPerSecond = rate
+		rate *= cfg.factor
+	}
+
+	// Drain until every accepted transaction has applied (the zero
+	// accepted-then-lost audit) or the deadline passes.
+	drainDeadline := time.Now().Add(30 * time.Second)
+	applied := 0.0
+	for {
+		if m, err := c.FetchMetrics(primary); err == nil {
+			applied = m.Sum("herder_tx_per_ledger_sum") - startApplied
+			if int(applied) >= acceptedNew {
+				break
+			}
+		}
+		if time.Now().After(drainDeadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if lost := acceptedNew - int(applied); lost > 0 {
+		pb.AcceptedThenLost = lost
+	}
+
+	end := c.ScrapeAll(targets)
+	for _, s := range end {
+		if s.Err != nil {
+			return fmt.Errorf("scrape %s: %v", s.Target.URL, s.Err)
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	latencies, crossNode := collect.TraceLatencies(end)
+	var submitted int
+	for _, s := range pb.Steps {
+		submitted += s.Submitted
+	}
+	report := &collect.BenchReport{
+		Kind:          "cluster",
+		GeneratedUnix: time.Now().Unix(),
+		Cluster: &collect.ClusterBench{
+			Nodes:           len(targets),
+			DurationSeconds: elapsed,
+			LedgersClosed:   int(end[0].Ledger.Sequence - startSeq),
+			TxSubmitted:     submitted,
+			TxAccepted:      pb.Accepted,
+			TxRejected429:   pb.Rejected429,
+			TxRejected503:   pb.Rejected503,
+			TxApplied:       int(applied),
+			TxPerSecond:     applied / elapsed,
+			SubmitToApplied: collect.Summarize(latencies),
+			CrossNodeTraces: crossNode,
+			Probe:           pb,
+		},
+	}
+	if err := writeBenchReport(report, cfg.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: probe ceiling %.1f tx/s (backpressure at %.1f), %d accepted / %d×429 / %d×503, %d applied, lost %d\n",
+		pb.CeilingTxPerSecond, pb.BackpressureTxPerSecond,
+		pb.Accepted, pb.Rejected429, pb.Rejected503, int(applied), pb.AcceptedThenLost)
+
+	if cfg.traceOut != "" {
+		stats, err := writeMerged(end, cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: merged trace → %s (%d spans, %d cross-node links)\n",
+			cfg.traceOut, stats.SpansOut, stats.CrossLinks)
 	}
 	return nil
 }

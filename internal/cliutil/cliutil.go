@@ -31,6 +31,34 @@ type CommonFlags struct {
 	TraceLimit int
 }
 
+// IngressFlags is the submit-pipeline tuning shared by binaries that
+// serve the horizon API: mempool bounds and per-client rate limits. The
+// zero values keep the defaults (bounded pool, no throttling), so a bare
+// invocation behaves exactly as before the pipeline existed.
+type IngressFlags struct {
+	// MempoolMax caps the pending transaction pool; MempoolPerSource caps
+	// one account's share of it (0 = package defaults).
+	MempoolMax       int
+	MempoolPerSource int
+	// SubmitRate/SubmitBurst throttle submissions per source account
+	// (tx/sec, 0 = unlimited); SubmitIPRate/SubmitIPBurst do the same per
+	// remote IP before the request body is even decoded.
+	SubmitRate    float64
+	SubmitBurst   int
+	SubmitIPRate  float64
+	SubmitIPBurst int
+}
+
+// Register attaches the ingress flags to fs.
+func (f *IngressFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.MempoolMax, "mempool", 0, "pending transaction pool cap (0 = default 8192)")
+	fs.IntVar(&f.MempoolPerSource, "mempool-per-source", 0, "pending transactions one account may hold (0 = default 64)")
+	fs.Float64Var(&f.SubmitRate, "submit-rate", 0, "per-source-account submission rate in tx/sec (0 = unlimited)")
+	fs.IntVar(&f.SubmitBurst, "submit-burst", 0, "per-source-account submission burst (0 = 1 when -submit-rate is set)")
+	fs.Float64Var(&f.SubmitIPRate, "submit-ip-rate", 0, "per-remote-IP submission rate in tx/sec (0 = unlimited)")
+	fs.IntVar(&f.SubmitIPBurst, "submit-ip-burst", 0, "per-remote-IP submission burst (0 = 1 when -submit-ip-rate is set)")
+}
+
 // Register attaches the shared flags to fs (flag.CommandLine in main).
 func (f *CommonFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.VerifyWorkers, "verify-workers", 0, "signature verification pool size (0 = NumCPU, 1 = sequential)")

@@ -1,0 +1,167 @@
+package herder
+
+import (
+	"testing"
+	"time"
+
+	"stellar/internal/fba"
+	"stellar/internal/ledger"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
+)
+
+// admitTestNode builds a single self-quorum validator; when run is true
+// it is bootstrapped and has closed a few ledgers.
+func admitTestNode(t *testing.T, run bool) (*Node, *simnet.Network, stellarcrypto.KeyPair) {
+	t.Helper()
+	net := simnet.New(1)
+	nid := stellarcrypto.HashBytes([]byte("admit-test"))
+	kp := stellarcrypto.KeyPairFromString("admit-validator")
+	self := fba.NodeIDFromPublicKey(kp.Public)
+	node, err := New(net, Config{
+		Keys:           kp,
+		QSet:           fba.QuorumSet{Threshold: 1, Validators: []fba.NodeID{self}},
+		NetworkID:      nid,
+		LedgerInterval: time.Second,
+		MempoolMaxTxs:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis, master := GenesisState(nid)
+	if run {
+		node.Bootstrap(genesis, 0)
+		node.Start()
+		net.RunFor(3 * time.Second)
+	}
+	return node, net, master
+}
+
+func masterTx(node *Node, master stellarcrypto.KeyPair, fee ledger.Amount, seqAhead uint64) *ledger.Transaction {
+	source := ledger.AccountIDFromPublicKey(master.Public)
+	tx := &ledger.Transaction{
+		Source: source, Fee: fee,
+		SeqNum: node.state.Account(source).SeqNum + seqAhead,
+		Operations: []ledger.Operation{{
+			Body: &ledger.Payment{Destination: source, Amount: ledger.One},
+		}},
+	}
+	tx.Sign(node.cfg.NetworkID, master)
+	return tx
+}
+
+// TestAdmitNotReadyBeforeBootstrap: with no ledger state the front door
+// stays closed with a retryable code, not a panic or silent accept.
+func TestAdmitNotReadyBeforeBootstrap(t *testing.T) {
+	node, _, _ := admitTestNode(t, false)
+	res := node.AdmitTx(&ledger.Transaction{})
+	if res.Code != AdmitNotReady {
+		t.Fatalf("code = %v, want not_ready", res.Code)
+	}
+	if !res.Code.Retryable() || res.Err == nil {
+		t.Fatalf("not_ready must be retryable with an error, got %+v", res)
+	}
+}
+
+// TestAdmitInvalidFee: a fee below the base-fee minimum is a
+// non-retryable rejection carrying the minimum as the hint.
+func TestAdmitInvalidFee(t *testing.T) {
+	node, _, master := admitTestNode(t, true)
+	res := node.AdmitTx(masterTx(node, master, 1, 1))
+	if res.Code != AdmitInvalid {
+		t.Fatalf("code = %v, want invalid", res.Code)
+	}
+	if res.Code.Retryable() {
+		t.Fatal("invalid must not be retryable")
+	}
+	if res.MinFee != node.state.BaseFee {
+		t.Fatalf("MinFee = %d, want %d", res.MinFee, node.state.BaseFee)
+	}
+}
+
+// TestAdmitAcceptedAndDuplicate: acceptance pools the tx and reports its
+// hash; resubmission is an idempotent duplicate.
+func TestAdmitAcceptedAndDuplicate(t *testing.T) {
+	node, _, master := admitTestNode(t, true)
+	tx := masterTx(node, master, node.state.BaseFee, 1)
+	res := node.AdmitTx(tx)
+	if res.Code != AdmitAccepted || res.Hash != tx.Hash(node.cfg.NetworkID) {
+		t.Fatalf("first admit %+v", res)
+	}
+	if node.PendingCount() != 1 {
+		t.Fatalf("pending = %d", node.PendingCount())
+	}
+	if res := node.AdmitTx(tx); res.Code != AdmitDuplicate {
+		t.Fatalf("resubmit code = %v, want duplicate", res.Code)
+	}
+	if node.PendingCount() != 1 {
+		t.Fatalf("pending after duplicate = %d", node.PendingCount())
+	}
+}
+
+// TestCatchingUpOnFutureDecision: a node holding an externalized value
+// for a slot beyond next (or next without its txset) reports itself
+// catching up; applying normally it does not.
+func TestCatchingUpOnFutureDecision(t *testing.T) {
+	node, _, _ := admitTestNode(t, true)
+	if node.CatchingUp() {
+		t.Fatal("healthy synced node reports catching up")
+	}
+	next := uint64(node.last.LedgerSeq) + 1
+
+	// Next slot decided but the tx set is still in flight.
+	node.decided[next] = &StellarValue{TxSetHash: stellarcrypto.HashBytes([]byte("missing"))}
+	if !node.CatchingUp() {
+		t.Fatal("missing txset for next slot not reported as catching up")
+	}
+	delete(node.decided, next)
+
+	// A decision for a slot past next means intervening ledgers are owed.
+	node.decided[next+3] = &StellarValue{}
+	if !node.CatchingUp() {
+		t.Fatal("future decided slot not reported as catching up")
+	}
+	delete(node.decided, next+3)
+
+	if node.CatchingUp() {
+		t.Fatal("node still catching up after decisions cleared")
+	}
+}
+
+// TestSubmitTxWrapsAdmit: the legacy SubmitTx entry point maps accepted
+// and duplicate to nil and surfaces rejections as errors.
+func TestSubmitTxWrapsAdmit(t *testing.T) {
+	node, _, master := admitTestNode(t, true)
+	tx := masterTx(node, master, node.state.BaseFee, 1)
+	if err := node.SubmitTx(tx); err != nil {
+		t.Fatalf("accepted submit returned %v", err)
+	}
+	if err := node.SubmitTx(tx); err != nil {
+		t.Fatalf("duplicate submit returned %v", err)
+	}
+	if err := node.SubmitTx(masterTx(node, master, 1, 2)); err == nil {
+		t.Fatal("invalid submit returned nil error")
+	}
+}
+
+// TestFeeStatsTracksPool: the stats surface follows pool occupancy and
+// publishes the eviction floor once full.
+func TestFeeStatsTracksPool(t *testing.T) {
+	node, _, master := admitTestNode(t, true)
+	base := node.state.BaseFee
+	for i := uint64(1); i <= 4; i++ { // MempoolMaxTxs: 4
+		if res := node.AdmitTx(masterTx(node, master, base, i)); res.Code != AdmitAccepted {
+			t.Fatalf("fill %d: %+v", i, res)
+		}
+	}
+	fs := node.FeeStats()
+	if !fs.PoolFull || fs.PoolSize != 4 || fs.PoolCap != 4 {
+		t.Fatalf("stats %+v", fs)
+	}
+	if fs.MinFeePerOp != base+1 {
+		t.Fatalf("MinFeePerOp = %d, want %d", fs.MinFeePerOp, base+1)
+	}
+	if fs.BaseFee != base {
+		t.Fatalf("BaseFee = %d", fs.BaseFee)
+	}
+}

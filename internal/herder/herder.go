@@ -11,6 +11,7 @@ import (
 	"stellar/internal/fba"
 	"stellar/internal/history"
 	"stellar/internal/ledger"
+	"stellar/internal/mempool"
 	"stellar/internal/metrics"
 	"stellar/internal/obs"
 	"stellar/internal/overlay"
@@ -37,6 +38,13 @@ type Config struct {
 	BallotTimeout     func(counter uint32) time.Duration
 	// MaxTxSetSize caps operations per ledger (surge pricing above it).
 	MaxTxSetSize int
+	// MempoolMaxTxs bounds the pending transaction pool; the cheapest
+	// fee-per-op resident is evicted when a better-paying transaction
+	// arrives at a full pool (0 = mempool.DefaultMaxTxs).
+	MempoolMaxTxs int
+	// MempoolMaxPerSource caps pending transactions per source account so
+	// one key cannot monopolize the pool (0 = mempool.DefaultMaxPerSource).
+	MempoolMaxPerSource int
 	// Archive, when set, receives headers, tx sets, and bucket
 	// snapshots (§5.4). Validators typically do NOT host archives, so it
 	// is optional.
@@ -90,8 +98,14 @@ type Node struct {
 	headers  map[uint32]stellarcrypto.Hash // seq → header hash (skiplist source)
 	last     *ledger.Header
 
-	pending map[stellarcrypto.Hash]*ledger.Transaction
-	txsets  map[stellarcrypto.Hash]*ledger.TxSet
+	// pool is the bounded fee-priority pending set (admit.go holds the
+	// admission front door the horizon submit pipeline calls).
+	pool *mempool.Pool
+	// lastLedgerTxs is the transaction count of the latest close, served
+	// by FeeStats as a demand signal.
+	lastLedgerTxs int
+
+	txsets map[stellarcrypto.Hash]*ledger.TxSet
 	// txsetSeen records the ledger at which each tx set was learned, for
 	// age-based pruning (a set proposed for a future slot must survive
 	// the close of the current one).
@@ -172,7 +186,7 @@ func New(net simnet.Env, cfg Config) (*Node, error) {
 		addr:         simnet.Addr(id),
 		net:          net,
 		headers:      make(map[uint32]stellarcrypto.Hash),
-		pending:      make(map[stellarcrypto.Hash]*ledger.Transaction),
+		pool:         mempool.New(mempool.Config{MaxTxs: cfg.MempoolMaxTxs, MaxPerSource: cfg.MempoolMaxPerSource}),
 		txsets:       make(map[stellarcrypto.Hash]*ledger.TxSet),
 		txsetSeen:    make(map[stellarcrypto.Hash]uint32),
 		recent:       make(map[uint32]recentLedger),
@@ -269,41 +283,76 @@ func (n *Node) scheduleTrigger(d time.Duration) {
 	n.trigTimer = n.net.After(n.addr, d, n.triggerNextLedger)
 }
 
-// SubmitTx accepts a transaction from a client (or a peer's flood): it
-// enters the pending pool and is flooded onward.
+// SubmitTx accepts a transaction from a client: it runs the admission
+// pipeline (admit.go) and floods on acceptance. Duplicates are a
+// succeed-silently no-op for backward compatibility; richer callers
+// (the horizon submit handler) use AdmitTx directly for per-outcome
+// status codes and fee hints.
 func (n *Node) SubmitTx(tx *ledger.Transaction) error {
-	if n.state == nil {
-		return fmt.Errorf("herder: node not bootstrapped")
-	}
-	h := tx.Hash(n.cfg.NetworkID)
-	if _, dup := n.pending[h]; dup {
+	res := n.AdmitTx(tx)
+	switch res.Code {
+	case AdmitAccepted, AdmitDuplicate:
 		return nil
+	default:
+		return res.Err
 	}
-	// Cheap pre-checks; full validity is re-checked at apply time.
-	if len(tx.Operations) == 0 || tx.Fee < n.state.MinFee(tx) {
-		return fmt.Errorf("herder: transaction fails basic checks")
-	}
-	n.pending[h] = tx
-	n.traceSubmitTx(h)
-	n.ins.pendingTxs.Set(float64(len(n.pending)))
-	n.ov.BroadcastTxCtx(tx, n.txCtx(h))
-	return nil
 }
 
 // PendingCount reports the transaction pool size.
-func (n *Node) PendingCount() int { return len(n.pending) }
+func (n *Node) PendingCount() int { return n.pool.Len() }
+
+// PendingMaxSeq reports the highest pending sequence number for a source
+// account, so the API layer can chain submissions past the ledger state.
+func (n *Node) PendingMaxSeq(source ledger.AccountID) (uint64, bool) {
+	return n.pool.MaxSeq(source)
+}
 
 // KnownTxSets reports how many transaction sets the node holds (debugging).
 func (n *Node) KnownTxSets() int { return len(n.txsets) }
 
+// onTx admits a peer-flooded transaction under the same pool policy as
+// local submissions (minus re-flooding, which the overlay handles). A
+// rejected flood must close the lifecycle trace the packet hook may have
+// opened, or the bounded span map leaks.
 func (n *Node) onTx(tx *ledger.Transaction) {
 	if n.state == nil {
 		return
 	}
 	h := tx.Hash(n.cfg.NetworkID)
-	if _, dup := n.pending[h]; !dup {
-		n.pending[h] = tx
-		n.ins.pendingTxs.Set(float64(len(n.pending)))
+	if len(tx.Operations) == 0 || tx.Fee < n.state.MinFee(tx) {
+		n.ins.admitted.With("flood_invalid").Inc()
+		n.traceEvictTx(h, "invalid")
+		return
+	}
+	res := n.pool.Add(tx, h)
+	n.ins.admitted.With("flood_" + res.Outcome.String()).Inc()
+	if !res.Outcome.Admitted() {
+		if res.Outcome != mempool.Duplicate {
+			n.traceEvictTx(h, res.Outcome.String())
+		}
+		return
+	}
+	n.noteEvicted(res.Evicted)
+	n.updatePoolGauges()
+}
+
+// noteEvicted records fee-pressure evictions: counts them and closes the
+// victims' lifecycle traces.
+func (n *Node) noteEvicted(victims []mempool.EvictedTx) {
+	for _, v := range victims {
+		n.ins.evicted.Inc()
+		n.traceEvictTx(v.Hash, "fee-pressure")
+	}
+}
+
+// updatePoolGauges refreshes the mempool gauges after pool mutations.
+func (n *Node) updatePoolGauges() {
+	n.ins.pendingTxs.Set(float64(n.pool.Len()))
+	n.ins.poolSize.Set(float64(n.pool.Len()))
+	if fee, ops, ok := n.pool.FloorRate(); ok && n.pool.Full() {
+		n.ins.poolFloor.Set(float64(fee) / float64(ops))
+	} else {
+		n.ins.poolFloor.Set(0)
 	}
 }
 
@@ -359,11 +408,11 @@ func (n *Node) triggerNextLedger() {
 	// Build the candidate transaction set from the pending pool.
 	closeTime := n.proposedCloseTime()
 	var candidates []*ledger.Transaction
-	for _, tx := range n.pending {
+	n.pool.Each(func(_ stellarcrypto.Hash, tx *ledger.Transaction) {
 		if err := n.state.CheckValid(tx, n.cfg.NetworkID, closeTime); err == nil {
 			candidates = append(candidates, tx)
 		}
-	}
+	})
 	// The pool is a map; canonicalize the order so the proposed set (and
 	// surge-pricing tie-breaks) never depend on map iteration. Seeded
 	// simulations must replay bit-identically.
@@ -533,14 +582,16 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 		delete(n.recent, hdr.LedgerSeq-recentWindow)
 	}
 
-	// Drop applied/stale transactions from the pool.
-	for h, tx := range n.pending {
-		if acct := n.state.Account(tx.Source); acct == nil || tx.SeqNum <= acct.SeqNum {
-			delete(n.pending, h)
-			n.traceEvictTx(h)
-		}
+	// Drop applied/stale transactions from the pool (canonical hash order
+	// inside PruneStale keeps the trace/event sequence deterministic).
+	for _, v := range n.pool.PruneStale(func(tx *ledger.Transaction) bool {
+		acct := n.state.Account(tx.Source)
+		return acct == nil || tx.SeqNum <= acct.SeqNum
+	}) {
+		n.traceEvictTx(v.Hash, "stale")
 	}
-	n.ins.pendingTxs.Set(float64(len(n.pending)))
+	n.lastLedgerTxs = len(ts.Txs)
+	n.updatePoolGauges()
 
 	// Prune tx sets by age: drop sets not seen within the last few
 	// ledgers, always keeping any referenced by a buffered decision.

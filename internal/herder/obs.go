@@ -27,6 +27,12 @@ type instruments struct {
 	txPerLedger   *obs.Histogram // herder_tx_per_ledger
 	ledgersClosed *obs.Counter   // herder_ledgers_closed_total
 	pendingTxs    *obs.Gauge     // herder_pending_txs
+
+	// Admission pipeline (ROADMAP item 1; DESIGN.md §13).
+	admitted  *obs.CounterVec // mempool_admitted_total{outcome}
+	evicted   *obs.Counter    // mempool_evicted_total
+	poolSize  *obs.Gauge      // mempool_size
+	poolFloor *obs.Gauge      // mempool_fee_floor
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -55,6 +61,14 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"ledgers this node applied"),
 		pendingTxs: reg.Gauge("herder_pending_txs",
 			"transactions waiting in the pending pool"),
+		admitted: reg.CounterVec("mempool_admitted_total",
+			"admission decisions by outcome (flood_* = peer flood path)", "outcome"),
+		evicted: reg.Counter("mempool_evicted_total",
+			"pooled transactions displaced by fee-pressure eviction"),
+		poolSize: reg.Gauge("mempool_size",
+			"transactions in the bounded fee-priority pool"),
+		poolFloor: reg.Gauge("mempool_fee_floor",
+			"fee per operation of the cheapest pooled transaction while full (0 = not full)"),
 	}
 }
 

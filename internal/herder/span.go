@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stellar/internal/ledger"
+	"stellar/internal/mempool"
 	"stellar/internal/obs"
 	"stellar/internal/overlay"
 	"stellar/internal/scp"
@@ -85,8 +86,10 @@ func (n *Node) initTracer() {
 	n.txTrace = make(map[stellarcrypto.Hash]*txTrace)
 }
 
-// traceSubmitTx opens the lifecycle root for a client-submitted tx.
-func (n *Node) traceSubmitTx(h stellarcrypto.Hash) {
+// traceSubmitTx opens the lifecycle root for a client-submitted tx,
+// recording the admission decision as an instant marker (so the trace
+// shows whether the pool took it outright or via replace-by-fee).
+func (n *Node) traceSubmitTx(h stellarcrypto.Hash, outcome mempool.Outcome) {
 	if n.tr == nil || len(n.txTrace) >= maxTracedTxs {
 		return
 	}
@@ -94,6 +97,9 @@ func (n *Node) traceSubmitTx(h stellarcrypto.Hash) {
 	root.Arg("hash", h.Hex())
 	sub := root.Child(obs.SpanTxSubmit)
 	sub.End()
+	adm := root.Child(obs.SpanTxAdmit)
+	adm.Arg("outcome", outcome.String())
+	adm.End()
 	pend := root.Child(obs.SpanTxPending)
 	n.txTrace[h] = &txTrace{root: root, phase: pend, stage: txStagePending}
 }
@@ -313,9 +319,11 @@ func (n *Node) traceRecvMarker(name string, ctx obs.TraceContext, from simnet.Ad
 }
 
 // traceEvictTx ends the lifecycle of a pending transaction dropped
-// without ever being applied locally (stale sequence number, or applied
-// via a txset this node didn't trace).
-func (n *Node) traceEvictTx(h stellarcrypto.Hash) {
+// without ever being applied locally — stale sequence number,
+// fee-pressure eviction from the full pool, or a rejected flood whose
+// packet hook already opened a trace. The reason lands on the root span
+// so Perfetto queries can split evictions by cause.
+func (n *Node) traceEvictTx(h stellarcrypto.Hash, reason string) {
 	if n.tr == nil {
 		return
 	}
@@ -325,6 +333,7 @@ func (n *Node) traceEvictTx(h stellarcrypto.Hash) {
 	}
 	txt.phase.End()
 	txt.root.Arg("outcome", "evicted")
+	txt.root.Arg("reason", reason)
 	txt.root.End()
 	delete(n.txTrace, h)
 }

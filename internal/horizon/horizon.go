@@ -11,7 +11,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -41,8 +40,15 @@ type Server struct {
 	EnablePprof bool
 	archive     *history.Archive
 
-	httpReqs *obs.CounterVec   // horizon_http_requests_total{route,code}
-	httpLat  *obs.HistogramVec // horizon_http_request_seconds{route}
+	// Submit-pipeline limits (submit.go, ratelimit.go). The zero config
+	// disables throttling; nil limiters allow everything.
+	ingress    IngressConfig
+	srcLimiter *rateLimiter
+	ipLimiter  *rateLimiter
+
+	httpReqs    *obs.CounterVec   // horizon_http_requests_total{route,code}
+	httpLat     *obs.HistogramVec // horizon_http_request_seconds{route}
+	ingressReqs *obs.CounterVec   // ingress_submissions_total{outcome}
 }
 
 // New builds a Server for the node with its own lock. Callers whose node
@@ -51,6 +57,8 @@ type Server struct {
 func New(node *herder.Node, net simnet.Env, networkID stellarcrypto.Hash) *Server {
 	s := &Server{Mu: &sync.Mutex{}, Node: node, Net: net, NetworkID: networkID}
 	s.httpReqs, s.httpLat = newHTTPInstruments(node.Obs().Reg)
+	s.ingressReqs = node.Obs().Reg.CounterVec("ingress_submissions_total",
+		"transaction submissions through POST /transactions, by admission outcome", "outcome")
 	return s
 }
 
@@ -61,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "GET /ledgers/latest", s.handleLatestLedger)
 	s.handle(mux, "GET /accounts/{id}", s.handleAccount)
 	s.handle(mux, "GET /order_book", s.handleOrderBook)
+	s.handle(mux, "GET /fee_stats", s.handleFeeStats)
 	s.handle(mux, "GET /paths", s.handlePaths)
 	s.handle(mux, "GET /metrics", s.handlePromMetrics)
 	s.handle(mux, "GET /metrics.json", s.handleMetricsJSON)
@@ -244,144 +253,4 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		"tx_per_ledger_mean":   m.TxPerLedger.Mean(),
 		"pending_transactions": s.Node.PendingCount(),
 	})
-}
-
-// SubmitRequest is the JSON transaction submission format: a simplified
-// envelope covering the common operations (the demo equivalent of
-// horizon's XDR submission endpoint).
-type SubmitRequest struct {
-	SourceSeed string      `json:"source_seed"` // signing seed label (demo)
-	Fee        string      `json:"fee,omitempty"`
-	Operations []SubmitOp  `json:"operations"`
-	TimeBounds *TimeBounds `json:"time_bounds,omitempty"`
-}
-
-// TimeBounds mirrors ledger.TimeBounds in JSON.
-type TimeBounds struct {
-	MinTime int64 `json:"min_time,omitempty"`
-	MaxTime int64 `json:"max_time,omitempty"`
-}
-
-// SubmitOp is a JSON operation union.
-type SubmitOp struct {
-	Type        string `json:"type"` // payment | create_account | change_trust | manage_offer
-	Destination string `json:"destination,omitempty"`
-	Asset       string `json:"asset,omitempty"`
-	Amount      string `json:"amount,omitempty"`
-	Limit       string `json:"limit,omitempty"`
-	Selling     string `json:"selling,omitempty"`
-	Buying      string `json:"buying,omitempty"`
-	PriceN      int32  `json:"price_n,omitempty"`
-	PriceD      int32  `json:"price_d,omitempty"`
-}
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad json: %v", err)
-		return
-	}
-	s.Mu.Lock()
-	defer s.Mu.Unlock()
-	tx, err := s.buildTx(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := s.Node.SubmitTx(tx); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{
-		"hash":   tx.Hash(s.NetworkID).Hex(),
-		"status": "pending",
-	})
-}
-
-func (s *Server) buildTx(req *SubmitRequest) (*ledger.Transaction, error) {
-	kp := stellarcrypto.KeyPairFromString(req.SourceSeed)
-	source := ledger.AccountIDFromPublicKey(kp.Public)
-	st := s.Node.State()
-	acct := st.Account(source)
-	if acct == nil {
-		return nil, fmt.Errorf("source account %s does not exist", source)
-	}
-	var ops []ledger.Operation
-	for _, op := range req.Operations {
-		body, err := buildOp(op)
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, ledger.Operation{Body: body})
-	}
-	fee := st.BaseFee * ledger.Amount(len(ops))
-	if req.Fee != "" {
-		f, err := strconv.ParseInt(req.Fee, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad fee: %v", err)
-		}
-		fee = f
-	}
-	tx := &ledger.Transaction{
-		Source:     source,
-		Fee:        fee,
-		SeqNum:     acct.SeqNum + 1,
-		Operations: ops,
-	}
-	if req.TimeBounds != nil {
-		tx.TimeBounds = &ledger.TimeBounds{MinTime: req.TimeBounds.MinTime, MaxTime: req.TimeBounds.MaxTime}
-	}
-	tx.Sign(s.NetworkID, kp)
-	return tx, nil
-}
-
-func buildOp(op SubmitOp) (ledger.OpBody, error) {
-	switch op.Type {
-	case "payment":
-		asset, err := parseAsset(op.Asset)
-		if err != nil {
-			return nil, err
-		}
-		amt, err := ledger.ParseAmount(op.Amount)
-		if err != nil {
-			return nil, err
-		}
-		return &ledger.Payment{Destination: ledger.AccountID(op.Destination), Asset: asset, Amount: amt}, nil
-	case "create_account":
-		amt, err := ledger.ParseAmount(op.Amount)
-		if err != nil {
-			return nil, err
-		}
-		return &ledger.CreateAccount{Destination: ledger.AccountID(op.Destination), StartingBalance: amt}, nil
-	case "change_trust":
-		asset, err := parseAsset(op.Asset)
-		if err != nil {
-			return nil, err
-		}
-		limit, err := ledger.ParseAmount(op.Limit)
-		if err != nil {
-			return nil, err
-		}
-		return &ledger.ChangeTrust{Asset: asset, Limit: limit}, nil
-	case "manage_offer":
-		selling, err := parseAsset(op.Selling)
-		if err != nil {
-			return nil, err
-		}
-		buying, err := parseAsset(op.Buying)
-		if err != nil {
-			return nil, err
-		}
-		amt, err := ledger.ParseAmount(op.Amount)
-		if err != nil {
-			return nil, err
-		}
-		price, err := ledger.NewPrice(op.PriceN, op.PriceD)
-		if err != nil {
-			return nil, err
-		}
-		return &ledger.ManageOffer{Selling: selling, Buying: buying, Amount: amt, Price: price}, nil
-	default:
-		return nil, fmt.Errorf("unknown operation type %q", op.Type)
-	}
 }

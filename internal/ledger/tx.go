@@ -184,6 +184,15 @@ type sigCandidate struct {
 	used bool
 }
 
+// CheckSignatures verifies the transaction's signatures against current
+// account state without the rest of the validity checks — the horizon
+// submit pipeline's signature pre-verification gate. It routes through
+// the state's verification pipeline, so a signature verified here is a
+// cache hit at nomination and apply time.
+func (st *State) CheckSignatures(tx *Transaction, networkID stellarcrypto.Hash) error {
+	return tx.checkSignatures(st, networkID)
+}
+
 // checkSignatures verifies that, for every source account the transaction
 // touches, the attached signatures carry enough weight for the required
 // threshold level (§5.1 multisig).

@@ -72,6 +72,53 @@ type ClusterBench struct {
 	// CrossNodeTraces counts causal trees whose spans landed on ≥ 2
 	// processes — the propagation proof.
 	CrossNodeTraces int `json:"cross_node_traces"`
+	// Ingress outcome split (hardened submit pipeline): how many
+	// submissions were admitted vs pushed back. Zero-valued on reports
+	// from before the admission pipeline existed.
+	TxAccepted    int `json:"tx_accepted,omitempty"`
+	TxRejected429 int `json:"tx_rejected_429,omitempty"`
+	TxRejected503 int `json:"tx_rejected_503,omitempty"`
+	// Probe holds the ceiling-probe result when the run used -probe.
+	Probe *ProbeBench `json:"probe,omitempty"`
+}
+
+// ProbeStep is one offered-load step of the ceiling probe.
+type ProbeStep struct {
+	OfferedTxPerSecond float64 `json:"offered_tx_per_second"`
+	DurationSeconds    float64 `json:"duration_seconds"`
+	Submitted          int     `json:"submitted"`
+	Accepted           int     `json:"accepted"`
+	Rejected429        int     `json:"rejected_429"`
+	Rejected503        int     `json:"rejected_503"`
+	Errors             int     `json:"errors,omitempty"`
+}
+
+// ProbeBench is the result of ramping offered load until the ingress
+// pushes back: the sustained ceiling is the highest step rate fully
+// admitted, and the backpressure contract (429 + Retry-After + min-fee)
+// is itself part of the measured result.
+type ProbeBench struct {
+	Steps []ProbeStep `json:"steps"`
+	// CeilingTxPerSecond is the highest offered rate the ingress admitted
+	// without a single 429 (0 when even the first step saw pushback).
+	CeilingTxPerSecond float64 `json:"ceiling_tx_per_second"`
+	// BackpressureTxPerSecond is the offered rate at which 429s first
+	// appeared (0 when the probe never reached backpressure).
+	BackpressureTxPerSecond float64 `json:"backpressure_tx_per_second,omitempty"`
+	// Totals across steps.
+	Accepted    int `json:"accepted"`
+	Rejected429 int `json:"rejected_429"`
+	Rejected503 int `json:"rejected_503"`
+	// RetryAfterValid records that every 429/503 carried a parseable
+	// Retry-After of at least one second.
+	RetryAfterValid bool `json:"retry_after_valid"`
+	// MinFeeHint is the last surge-fee hint (stroops) a pool-pressure 429
+	// body carried, empty if rejections never included one.
+	MinFeeHint string `json:"min_fee_hint,omitempty"`
+	// AcceptedThenLost counts transactions the ingress accepted (202)
+	// that never applied by the end of the drain window. The smoke gate
+	// requires zero: acceptance must be a promise, not a guess.
+	AcceptedThenLost int `json:"accepted_then_lost"`
 }
 
 // MicroBench is one `go test -bench` result row.
@@ -127,6 +174,11 @@ func CheckBench(r io.Reader) (*BenchReport, error) {
 		if c.TxApplied > 0 && c.SubmitToApplied.Count == 0 {
 			return nil, fmt.Errorf("collect: applied %d txs but no submit→applied samples", c.TxApplied)
 		}
+		if c.Probe != nil {
+			if err := checkProbe(c.Probe); err != nil {
+				return nil, err
+			}
+		}
 	case "micro":
 		if len(br.Micro) == 0 {
 			return nil, fmt.Errorf("collect: kind micro without rows")
@@ -140,6 +192,41 @@ func CheckBench(r io.Reader) (*BenchReport, error) {
 		return nil, fmt.Errorf("collect: unknown bench kind %q", br.Kind)
 	}
 	return &br, nil
+}
+
+// checkProbe validates the ceiling-probe section's invariants: internal
+// count consistency, the backpressure contract (429s must have carried
+// valid Retry-After), and the zero accepted-then-lost guarantee.
+func checkProbe(p *ProbeBench) error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("collect: probe without steps")
+	}
+	var acc, r429, r503 int
+	for i, s := range p.Steps {
+		if s.OfferedTxPerSecond <= 0 || s.DurationSeconds <= 0 {
+			return fmt.Errorf("collect: probe step %d needs offered rate and duration > 0", i)
+		}
+		if s.Accepted+s.Rejected429+s.Rejected503+s.Errors > s.Submitted {
+			return fmt.Errorf("collect: probe step %d outcomes exceed submissions", i)
+		}
+		acc += s.Accepted
+		r429 += s.Rejected429
+		r503 += s.Rejected503
+	}
+	if acc != p.Accepted || r429 != p.Rejected429 || r503 != p.Rejected503 {
+		return fmt.Errorf("collect: probe totals disagree with steps (accepted %d/%d, 429 %d/%d, 503 %d/%d)",
+			p.Accepted, acc, p.Rejected429, r429, p.Rejected503, r503)
+	}
+	if p.Rejected429 > 0 && !p.RetryAfterValid {
+		return fmt.Errorf("collect: probe saw 429s without valid Retry-After")
+	}
+	if p.AcceptedThenLost != 0 {
+		return fmt.Errorf("collect: %d transactions accepted then lost", p.AcceptedThenLost)
+	}
+	if p.CeilingTxPerSecond < 0 {
+		return fmt.Errorf("collect: negative probe ceiling")
+	}
+	return nil
 }
 
 // ParseGoBench parses `go test -bench` output into micro rows. Result

@@ -241,6 +241,58 @@ func TestCheckBench(t *testing.T) {
 	}
 }
 
+func TestCheckBenchProbe(t *testing.T) {
+	mk := func(mut func(*ProbeBench)) *BenchReport {
+		p := &ProbeBench{
+			Steps: []ProbeStep{
+				{OfferedTxPerSecond: 4, DurationSeconds: 5, Submitted: 20, Accepted: 20},
+				{OfferedTxPerSecond: 8, DurationSeconds: 5, Submitted: 40, Accepted: 30, Rejected429: 10},
+			},
+			CeilingTxPerSecond:      4,
+			BackpressureTxPerSecond: 8,
+			Accepted:                50,
+			Rejected429:             10,
+			RetryAfterValid:         true,
+		}
+		if mut != nil {
+			mut(p)
+		}
+		return &BenchReport{
+			Kind: "cluster",
+			Cluster: &ClusterBench{
+				Nodes: 3, DurationSeconds: 20, TxApplied: 50,
+				SubmitToApplied: Quantiles{Count: 50},
+				Probe:           p,
+			},
+		}
+	}
+	roundTrip := func(r *BenchReport) error {
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		_, err := CheckBench(&buf)
+		return err
+	}
+
+	if err := roundTrip(mk(nil)); err != nil {
+		t.Fatalf("valid probe rejected: %v", err)
+	}
+	cases := map[string]func(*ProbeBench){
+		"no steps":             func(p *ProbeBench) { p.Steps = nil },
+		"totals disagree":      func(p *ProbeBench) { p.Accepted = 49 },
+		"outcomes exceed subs": func(p *ProbeBench) { p.Steps[0].Rejected503 = 1 },
+		"429 without retry":    func(p *ProbeBench) { p.RetryAfterValid = false },
+		"accepted then lost":   func(p *ProbeBench) { p.AcceptedThenLost = 2 },
+		"zero-rate step":       func(p *ProbeBench) { p.Steps[1].OfferedTxPerSecond = 0 },
+	}
+	for name, mut := range cases {
+		if err := roundTrip(mk(mut)); err == nil {
+			t.Errorf("%s: invalid probe accepted", name)
+		}
+	}
+}
+
 func TestParseGoBench(t *testing.T) {
 	out := `goos: linux
 goarch: amd64

@@ -46,6 +46,7 @@ const (
 	SpanArchive     = "archive"        // history archive writes
 	SpanTx          = "tx"             // per-transaction root: submit → applied
 	SpanTxSubmit    = "submit"         // client submission
+	SpanTxAdmit     = "admit"          // mempool admission decision marker
 	SpanTxPending   = "pending"        // pending pool wait until candidate selection
 	SpanTxConsensus = "consensus"      // candidate selection → externalize
 	SpanTxApplied   = "applied"        // the tx's share of the apply phase
