@@ -7,6 +7,11 @@ CHAOS_SEEDS ?=
 # FUZZTIME is how long each native fuzz target runs under `make fuzz`.
 FUZZTIME ?= 30s
 
+# APPLY_WORKERS is a comma list of worker counts the parallel-apply
+# property tests sweep (default 1,2,4,8); `make race APPLY_WORKERS=...`
+# narrows or widens the matrix.
+APPLY_WORKERS ?=
+
 # TRACE_OUT is where trace-smoke writes its Chrome trace artifact.
 TRACE_OUT ?= trace-smoke.json
 
@@ -33,7 +38,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	APPLY_WORKERS=$(APPLY_WORKERS) $(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -60,13 +65,13 @@ staticcheck:
 check: fmt vet staticcheck race
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkApplyTxSetParallel|BenchmarkBucketRehash' -count 3 .
 
 # bench-smoke runs each benchmark once — a fast regression tripwire for CI,
 # not a measurement — plus the nil-tracer overhead budget (tracing off
 # must cost <1% of a consensus round).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkApplyTxSetParallel|BenchmarkBucketRehash' -benchtime 1x .
 	TRACE_OVERHEAD=1 $(GO) test -run '^TestNilTracerOverhead$$' -v .
 
 # trace-smoke runs a short traced simulation, validates the exported
@@ -83,6 +88,7 @@ fuzz:
 	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzTxDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/xdr/ -run '^$$' -fuzz '^FuzzQuorumSetDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ledger/ -run '^$$' -fuzz '^FuzzCheckSignatures$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ledger/ -run '^$$' -fuzz '^FuzzReadWriteSets$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME)
 
 # bench-cluster boots a 3-process TCP quorum with live tracing, drives
@@ -92,7 +98,7 @@ fuzz:
 # BENCH_micro.json from one pass of the microbenchmarks.
 bench-cluster:
 	OBS_SMOKE_DIR=$(OBS_SMOKE_DIR) ./scripts/bench-cluster.sh
-	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkBucketRehash' -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSCPRound|BenchmarkBaseline|BenchmarkVerifyTxSet|BenchmarkApplyTxSetParallel|BenchmarkBucketRehash' -benchtime 1x . \
 		| $(GO) run ./cmd/benchtables -bench-json BENCH_micro.json
 
 # node-smoke boots a 3-process TCP quorum (cmd/stellar-node), waits for

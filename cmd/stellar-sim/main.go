@@ -45,6 +45,8 @@ func main() {
 		ArchiveDir:      *archive,
 		VerifyWorkers:   common.VerifyWorkers,
 		VerifyCacheSize: common.VerifyCache,
+		ApplyWorkers:    common.ApplyWorkers,
+		ApplyCheck:      common.ApplyCheck,
 		Trace:           common.Tracing() || *decompose,
 	}
 	if *verbose {

@@ -62,6 +62,15 @@ type Config struct {
 	// VerifyCacheSize bounds the signature-verification LRU cache
 	// (0 = verify.DefaultCacheSize).
 	VerifyCacheSize int
+	// ApplyWorkers > 1 schedules non-conflicting transactions across
+	// that many workers during ledger apply (0 or 1 = sequential).
+	// Results and hashes are byte-identical either way, so nodes in one
+	// quorum may mix worker counts freely.
+	ApplyWorkers int
+	// ApplyCheck makes parallel apply panic when a worker writes outside
+	// its transaction's declared write set (debug/test mode); off, the
+	// escape is only counted in apply_rwset_violations_total.
+	ApplyCheck bool
 	// Multicast selects the §7.5 structured-multicast extension instead
 	// of flooding; requires SetMembers on the overlay after wiring.
 	Multicast bool
@@ -256,6 +265,8 @@ func (n *Node) Bootstrap(genesis *ledger.State, closeTime int64) {
 	n.state = genesis
 	n.state.SetObs(n.obs.Reg)
 	n.state.SetVerifier(n.verifier)
+	n.state.SetApplyWorkers(n.cfg.ApplyWorkers)
+	n.state.SetApplyCheck(n.cfg.ApplyCheck)
 	n.buckets = bucket.NewList()
 	n.buckets.SetPool(n.verifier.Pool)
 	n.buckets.AddBatch(1, genesis.SnapshotAll())
@@ -705,6 +716,8 @@ func (n *Node) CatchUp(a *history.Archive) error {
 	n.state = state
 	n.state.SetObs(n.obs.Reg)
 	n.state.SetVerifier(n.verifier)
+	n.state.SetApplyWorkers(n.cfg.ApplyWorkers)
+	n.state.SetApplyCheck(n.cfg.ApplyCheck)
 	n.buckets = buckets
 	n.buckets.SetPool(n.verifier.Pool)
 	n.last = hdr

@@ -201,8 +201,10 @@ func (st *State) VerifyTxSetSignatures(txs []*Transaction, networkID stellarcryp
 
 // ApplyTxSet executes a whole transaction set, returning per-transaction
 // results and the results hash for the header. When a verifier is
-// attached, signature verification fans out across the pool first; the
-// apply loop itself is always sequential and deterministic.
+// attached, signature verification fans out across the pool first. With
+// SetApplyWorkers > 1, execution itself goes through the conflict-graph
+// scheduler (schedule.go); otherwise it is the sequential reference loop.
+// Both paths produce byte-identical results, dirty sets, and hashes.
 func (st *State) ApplyTxSet(ts *TxSet, networkID stellarcrypto.Hash, env *ApplyEnv) ([]TxResult, stellarcrypto.Hash) {
 	start := time.Now()
 	txs := ts.SortForApply(networkID)
@@ -210,9 +212,15 @@ func (st *State) ApplyTxSet(ts *TxSet, networkID stellarcrypto.Hash, env *ApplyE
 	st.VerifyTxSetSignatures(txs, networkID)
 	st.traceSpan.CompleteChild(obs.SpanSigPrepass, time.Since(prepassStart))
 	loopStart := time.Now()
-	results := make([]TxResult, 0, len(txs))
-	for _, tx := range txs {
-		results = append(results, st.ApplyTransaction(tx, networkID, env))
+	var results []TxResult
+	if st.applyWorkers > 1 && len(txs) > 1 {
+		results = st.applyTxsParallel(txs, networkID, env)
+	} else {
+		results = make([]TxResult, 0, len(txs))
+		for _, tx := range txs {
+			results = append(results, st.ApplyTransaction(tx, networkID, env))
+		}
+		st.lastSchedule = ApplySchedule{SerialTxs: len(txs), CriticalPathTxs: len(txs)}
 	}
 	st.traceSpan.CompleteChild(obs.SpanTxApply, time.Since(loopStart))
 	st.observeApply(start, results)

@@ -28,6 +28,26 @@ func indexByte(s string, b byte) int {
 	return -1
 }
 
+// parseTrustKeyString inverts trustlineKeyOf: "t|<account>|<assetkey>";
+// account IDs never contain '|'.
+func parseTrustKeyString(key string) (trustKey, bool) {
+	rest := key[2:]
+	if i := indexByte(rest, '|'); i >= 0 {
+		return trustKey{account: AccountID(rest[:i]), asset: rest[i+1:]}, true
+	}
+	return trustKey{}, false
+}
+
+// parseDataKeyString inverts dataKeyOf: "d|<account>|<name>"; names may
+// contain '|', accounts may not.
+func parseDataKeyString(key string) (dataKey, bool) {
+	rest := key[2:]
+	if i := indexByte(rest, '|'); i >= 0 {
+		return dataKey{account: AccountID(rest[:i]), name: rest[i+1:]}, true
+	}
+	return dataKey{}, false
+}
+
 // TakeDirtySnapshot returns the canonical encodings of every entry touched
 // since the last call (tombstones for deleted entries), sorted by key, and
 // resets the dirty set. The herder feeds this to the bucket list at each
@@ -52,10 +72,7 @@ func (s *State) encodeByKey(key string) SnapshotEntry {
 			return encodeAccountEntry(a)
 		}
 	case 't':
-		// "t|<account>|<assetkey>"; account IDs never contain '|'.
-		rest := key[2:]
-		if i := indexByte(rest, '|'); i >= 0 {
-			k := trustKey{account: AccountID(rest[:i]), asset: rest[i+1:]}
+		if k, ok := parseTrustKeyString(key); ok {
 			if t := s.trustlines[k]; t != nil {
 				return encodeTrustlineEntry(t)
 			}
@@ -67,10 +84,7 @@ func (s *State) encodeByKey(key string) SnapshotEntry {
 			return encodeOfferEntry(o)
 		}
 	case 'd':
-		// "d|<account>|<name>"; names may contain '|', accounts may not.
-		rest := key[2:]
-		if i := indexByte(rest, '|'); i >= 0 {
-			k := dataKey{account: AccountID(rest[:i]), name: rest[i+1:]}
+		if k, ok := parseDataKeyString(key); ok {
 			if d := s.data[k]; d != nil {
 				return encodeDataEntry(d)
 			}

@@ -10,7 +10,10 @@ package ledger_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 
 	"stellar/internal/bucket"
@@ -61,7 +64,10 @@ func (f *pipeFixture) id(i int) ledger.AccountID { return f.ids[i] }
 // buildWorld constructs one universe and plays the deterministic setup
 // ledger through its own pipeline: funded accounts, a USD trustline per
 // account, issued balances, and one account with an extra signer.
-func (f *pipeFixture) buildWorld(t *testing.T, v *verify.Verifier) *pipeWorld {
+// applyWorkers > 1 runs the setup (and everything after) through the
+// conflict-graph parallel apply scheduler with the write-set cross-check
+// armed; 0 keeps the sequential reference path.
+func (f *pipeFixture) buildWorld(t *testing.T, v *verify.Verifier, applyWorkers int) *pipeWorld {
 	t.Helper()
 	masterID := ledger.AccountIDFromPublicKey(f.master.Public)
 	st := ledger.NewGenesisState(masterID)
@@ -69,6 +75,10 @@ func (f *pipeFixture) buildWorld(t *testing.T, v *verify.Verifier) *pipeWorld {
 	if v != nil {
 		st.SetVerifier(v)
 		w.buckets.SetPool(v.Pool)
+	}
+	if applyWorkers > 1 {
+		st.SetApplyWorkers(applyWorkers)
+		st.SetApplyCheck(true)
 	}
 	w.buckets.AddBatch(1, st.SnapshotAll())
 	st.TakeDirtySnapshot()
@@ -268,8 +278,8 @@ func TestParallelApplyMatchesSequentialReference(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			f := newPipeFixture(seed)
 			v := verify.New(4, 1<<12)
-			ref := f.buildWorld(t, nil) // sequential reference: no verifier
-			par := f.buildWorld(t, v)   // parallel pipeline under test
+			ref := f.buildWorld(t, nil, 0) // sequential reference: no verifier
+			par := f.buildWorld(t, v, 4)   // parallel pipeline under test
 			if ref.hdr.Hash() != par.hdr.Hash() {
 				t.Fatalf("setup ledger headers diverged")
 			}
@@ -300,6 +310,268 @@ func TestParallelApplyMatchesSequentialReference(t *testing.T) {
 			// The parallel world must actually have exercised the cache.
 			if st := v.Cache.Stats(); st.Misses == 0 {
 				t.Fatalf("parallel pipeline never touched the cache: %+v", st)
+			}
+		})
+	}
+}
+
+// applyWorkerCountsEnv returns the worker-count matrix the parallel-apply
+// property tests sweep. APPLY_WORKERS (a comma-separated list, e.g.
+// "1,2,4,8") overrides the default — the `make check` knob CI uses to pin
+// the matrix explicitly.
+func applyWorkerCountsEnv(t *testing.T) []int {
+	env := os.Getenv("APPLY_WORKERS")
+	if env == "" {
+		return []int{1, 2, 4, 8}
+	}
+	var out []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			t.Fatalf("APPLY_WORKERS entry %q: want positive integers", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// dispAcct is a disposable account the merge-then-pay generator creates,
+// merges away, and recreates; unlike the fixture cast it owns no
+// trustlines, so AccountMerge can actually succeed.
+type dispAcct struct {
+	kp    stellarcrypto.KeyPair
+	id    ledger.AccountID
+	alive bool
+	seq   uint64 // next sequence number while alive
+}
+
+// conflictGen produces deliberately conflict-heavy transaction sets: the
+// workloads where the conflict-graph scheduler must fall back to large
+// components or serial barriers and still stay byte-identical.
+type conflictGen struct {
+	f    *pipeFixture
+	disp []*dispAcct
+}
+
+// Modes, chosen per seed:
+//
+//	0 — hot destination: every payment lands on one shared account, so the
+//	    whole batch collapses into a single component.
+//	1 — same-source chains: a few accounts each emit a chained run of
+//	    transactions plus payments into shared destinations.
+//	2 — offer/path mix: payments interleaved with order-book operations,
+//	    forcing serial barriers between every parallel batch.
+//	3 — merge-then-pay races: disposable accounts are merged away while
+//	    other transactions in the same set pay them (or re-create them),
+//	    so success/failure depends entirely on deterministic apply order.
+const conflictModes = 4
+
+// txSet generates one set for the given mode. ledgerSeq is the sequence
+// the set will apply at (CreateAccount seeds SeqNum = ledgerSeq << 32).
+func (g *conflictGen) txSet(rng *rand.Rand, prev stellarcrypto.Hash, mode int, ledgerSeq uint32) *ledger.TxSet {
+	f := g.f
+	var txs []*ledger.Transaction
+	// emit finalizes one transaction: fee, optional forged signature (the
+	// failure paths must stay byte-identical too), and seq bookkeeping.
+	emit := func(tx *ledger.Transaction, key stellarcrypto.KeyPair, bumpSeq func()) {
+		tx.Fee = ledger.Amount(len(tx.Operations))*ledger.DefaultBaseFee + ledger.Amount(rng.Intn(100))
+		if mode != 3 && rng.Intn(8) == 0 {
+			tx.Sign(f.networkID, stellarcrypto.KeyPairFromString("conflict-forger"))
+		} else {
+			tx.Sign(f.networkID, key)
+			bumpSeq()
+		}
+		txs = append(txs, tx)
+	}
+	pay := func(dst ledger.AccountID, usd bool) ledger.Operation {
+		asset := ledger.NativeAsset()
+		if usd {
+			asset = f.usd
+		}
+		return ledger.Operation{Body: &ledger.Payment{
+			Destination: dst, Asset: asset,
+			Amount: ledger.Amount(1+rng.Intn(40)) * ledger.One}}
+	}
+	switch mode {
+	case 0: // hot destination
+		hot := f.id(1 + rng.Intn(3))
+		n := 10 + rng.Intn(8)
+		for t := 0; t < n; t++ {
+			src := 1 + rng.Intn(len(f.ids)-1)
+			tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+			nops := 1 + rng.Intn(2)
+			for o := 0; o < nops; o++ {
+				if rng.Intn(4) == 0 {
+					tx.Operations = append(tx.Operations, pay(f.id(1+rng.Intn(len(f.ids)-1)), false))
+				} else {
+					tx.Operations = append(tx.Operations, pay(hot, rng.Intn(3) == 0))
+				}
+			}
+			emit(tx, f.keys[src], func() { f.seqs[tx.Source]++ })
+		}
+	case 1: // same-source chains into shared destinations
+		for c := 0; c < 3; c++ {
+			src := 1 + rng.Intn(len(f.ids)-1)
+			shared := f.id(1 + rng.Intn(len(f.ids)-1))
+			chain := 4 + rng.Intn(3)
+			for t := 0; t < chain; t++ {
+				tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+				tx.Operations = append(tx.Operations, pay(shared, rng.Intn(4) == 0))
+				if rng.Intn(3) == 0 {
+					tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.ManageData{
+						Name: fmt.Sprintf("k%d", rng.Intn(3)), Value: []byte{byte(rng.Intn(256))}}})
+				}
+				if rng.Intn(4) == 0 {
+					tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.BumpSequence{
+						BumpTo: f.seqs[f.id(src)] + uint64(rng.Intn(2))}})
+				}
+				emit(tx, f.keys[src], func() { f.seqs[tx.Source]++ })
+			}
+		}
+	case 2: // payments interleaved with order-book serial barriers
+		n := 10 + rng.Intn(8)
+		for t := 0; t < n; t++ {
+			src := 1 + rng.Intn(len(f.ids)-1)
+			tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+			switch rng.Intn(4) {
+			case 0:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.ManageOffer{
+					Selling: f.usd, Buying: ledger.NativeAsset(),
+					Amount: ledger.Amount(1+rng.Intn(20)) * ledger.One,
+					Price:  ledger.Price{N: int32(1 + rng.Intn(4)), D: int32(1 + rng.Intn(4))}}})
+			case 1:
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.PathPayment{
+					SendAsset: ledger.NativeAsset(), SendMax: ledger.Amount(1+rng.Intn(50)) * ledger.One,
+					Destination: f.id(1 + rng.Intn(len(f.ids)-1)), DestAsset: f.usd,
+					DestAmount: ledger.Amount(1+rng.Intn(10)) * ledger.One}})
+			default:
+				tx.Operations = append(tx.Operations, pay(f.id(1+rng.Intn(len(f.ids)-1)), rng.Intn(3) == 0))
+			}
+			emit(tx, f.keys[src], func() { f.seqs[tx.Source]++ })
+		}
+	case 3: // merge-then-pay races over the disposable cast
+		for di, d := range g.disp {
+			if d.alive {
+				// Payments out of the disposable, then maybe merge it away.
+				if rng.Intn(2) == 0 {
+					tx := &ledger.Transaction{Source: d.id, SeqNum: d.seq}
+					tx.Operations = append(tx.Operations, pay(f.id(1+rng.Intn(len(f.ids)-1)), false))
+					emit(tx, d.kp, func() { d.seq++ })
+				}
+				if rng.Intn(2) == 0 {
+					tx := &ledger.Transaction{Source: d.id, SeqNum: d.seq}
+					tx.Operations = append(tx.Operations, ledger.Operation{
+						Body: &ledger.AccountMerge{Destination: f.id(1 + rng.Intn(len(f.ids)-1))}})
+					emit(tx, d.kp, func() { d.seq++; d.alive = false })
+				}
+			} else if rng.Intn(2) == 0 {
+				// Revive: a fixture account re-creates the merged account in
+				// the very set where others may still be paying it.
+				src := 3 + rng.Intn(len(f.ids)-3)
+				tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+				tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.CreateAccount{
+					Destination: d.id, StartingBalance: 200 * ledger.One}})
+				emit(tx, f.keys[src], func() {
+					f.seqs[tx.Source]++
+					d.alive = true
+					d.seq = uint64(ledgerSeq)<<32 + 1
+				})
+			}
+			// Payments into the disposable from the fixture cast — racing
+			// the merge/recreate above; they succeed or fail purely by
+			// deterministic apply order, identically at every worker count.
+			if rng.Intn(2) == 0 {
+				src := 1 + rng.Intn(2)
+				if src == di%2+1 { // vary sources across disposables
+					src += 2
+				}
+				tx := &ledger.Transaction{Source: f.id(src), SeqNum: f.seqs[f.id(src)]}
+				tx.Operations = append(tx.Operations, pay(d.id, false))
+				emit(tx, f.keys[src], func() { f.seqs[tx.Source]++ })
+			}
+		}
+	}
+	return &ledger.TxSet{PrevLedgerHash: prev, Txs: txs}
+}
+
+// TestConflictHeavyParallelApplyWorkerMatrix is the scheduler-focused half
+// of the property harness: 50 seeds of conflict-heavy sets (hot shared
+// destinations, same-source chains, offer/path serial barriers,
+// merge-then-pay races), each closed simultaneously on a sequential
+// reference world and one world per worker count in the APPLY_WORKERS
+// matrix (default 1,2,4,8) — results, results hashes, bucket hashes, and
+// header hashes must stay byte-identical throughout, with the write-set
+// cross-check armed. Run under -race via `make race`.
+func TestConflictHeavyParallelApplyWorkerMatrix(t *testing.T) {
+	counts := applyWorkerCountsEnv(t)
+	const seeds = 50
+	const ledgersPerSeed = 4
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			mode := int(seed % conflictModes)
+			rng := rand.New(rand.NewSource(0xC0FFEE + seed))
+			f := newPipeFixture(seed + 500) // distinct cast from the pipeline test
+			ref := f.buildWorld(t, nil, 0)
+			worlds := make([]*pipeWorld, len(counts))
+			for i, wc := range counts {
+				worlds[i] = f.buildWorld(t, verify.New(2, 1<<10), wc)
+				if ref.hdr.Hash() != worlds[i].hdr.Hash() {
+					t.Fatalf("workers=%d: setup ledger headers diverged", wc)
+				}
+			}
+			// closeAll applies one set everywhere and demands byte equality.
+			closeAll := func(l int, ts *ledger.TxSet, closeTime int64) {
+				refResults, refRH := ref.closeLedger(t, ts, f.networkID, closeTime)
+				for i, w := range worlds {
+					res, rh := w.closeLedger(t, ts, f.networkID, closeTime)
+					if !reflect.DeepEqual(refResults, res) {
+						for j := range refResults {
+							if !reflect.DeepEqual(refResults[j], res[j]) {
+								t.Errorf("ledger %d tx %d workers=%d: sequential %+v != parallel %+v",
+									l, j, counts[i], refResults[j], res[j])
+							}
+						}
+						t.Fatalf("ledger %d workers=%d: results diverged", l, counts[i])
+					}
+					if refRH != rh {
+						t.Fatalf("ledger %d workers=%d: results hashes diverged", l, counts[i])
+					}
+					if ref.buckets.Hash() != w.buckets.Hash() {
+						t.Fatalf("ledger %d workers=%d: bucket list hashes diverged", l, counts[i])
+					}
+					if ref.hdr.Hash() != w.hdr.Hash() {
+						t.Fatalf("ledger %d workers=%d: header hashes diverged", l, counts[i])
+					}
+				}
+			}
+			g := &conflictGen{f: f}
+			if mode == 3 {
+				// Disposable cast for merge races: created by distinct
+				// fixture sources so the creates themselves parallelize.
+				createSeq := ref.hdr.LedgerSeq + 1
+				var creates []*ledger.Transaction
+				for i := 0; i < 4; i++ {
+					kp := stellarcrypto.KeyPairFromString(fmt.Sprintf("pipe-%d-disp-%d", seed, i))
+					d := &dispAcct{kp: kp, id: ledger.AccountIDFromPublicKey(kp.Public),
+						alive: true, seq: uint64(createSeq)<<32 + 1}
+					g.disp = append(g.disp, d)
+					src := f.id(3 + i)
+					tx := &ledger.Transaction{Source: src, SeqNum: f.seqs[src]}
+					tx.Operations = append(tx.Operations, ledger.Operation{Body: &ledger.CreateAccount{
+						Destination: d.id, StartingBalance: 500 * ledger.One}})
+					tx.Fee = ledger.Amount(len(tx.Operations)) * ledger.DefaultBaseFee
+					tx.Sign(f.networkID, f.keys[3+i])
+					f.seqs[src]++
+					creates = append(creates, tx)
+				}
+				closeAll(-1, &ledger.TxSet{PrevLedgerHash: ref.hdr.Hash(), Txs: creates}, 2_500)
+			}
+			for l := 0; l < ledgersPerSeed; l++ {
+				closeTime := int64(3_000 + l)
+				ts := g.txSet(rng, ref.hdr.Hash(), mode, ref.hdr.LedgerSeq+1)
+				closeAll(l, ts, closeTime)
 			}
 		})
 	}

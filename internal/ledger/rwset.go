@@ -1,0 +1,134 @@
+package ledger
+
+import "sort"
+
+// Static read/write-set analysis for parallel transaction apply.
+//
+// AnalyzeTx inspects a transaction's operations — without touching any
+// ledger state — and declares every entry key the transaction may read
+// or write during ApplyTransaction, in the same key namespace the dirty
+// tracker uses (dirty.go). The declared sets must be SUPERSETS of the
+// keys actually touched: the conflict-graph scheduler (schedule.go) uses
+// them to prove two transactions independent, so an undeclared touch
+// breaks determinism. That property is enforced three ways:
+//
+//   - statically: every State read/write in ops.go, exchange.go, tx.go
+//     and apply.go is enumerated below (DESIGN.md §14 has the table);
+//   - by fuzzing: FuzzReadWriteSets applies arbitrary decoded
+//     transactions and asserts the dirty-entry tracker stayed inside the
+//     declared write set;
+//   - at runtime: the scheduler cross-checks every merged shard against
+//     its declared writes and fails loudly (SetApplyCheck) on escape.
+//
+// Order-book-touching operations (ManageOffer, PathPayment) read and
+// write offers chosen by price at execution time, which cannot be
+// enumerated statically — they are marked Serial and conservatively
+// conflict with everything.
+
+// RWSet is the declared footprint of one transaction.
+type RWSet struct {
+	// Serial marks the transaction as touching statically-unanalyzable
+	// state (the order book); it must apply alone, in sequence, on the
+	// full ledger state.
+	Serial bool
+
+	reads  map[string]struct{}
+	writes map[string]struct{}
+}
+
+func (rw *RWSet) read(key string)  { rw.reads[key] = struct{}{} }
+func (rw *RWSet) write(key string) { rw.writes[key] = struct{}{} }
+
+// Reads returns the declared read-only keys, sorted. Keys also in the
+// write set are reported only by Writes.
+func (rw *RWSet) Reads() []string { return sortedKeys(rw.reads) }
+
+// Writes returns the declared write keys, sorted.
+func (rw *RWSet) Writes() []string { return sortedKeys(rw.writes) }
+
+// WritesKey reports whether key is in the declared write set.
+func (rw *RWSet) WritesKey(key string) bool {
+	_, ok := rw.writes[key]
+	return ok
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzeTx computes the transaction's declared read/write set. The
+// analysis is purely syntactic: every key derives from fields of the
+// transaction itself, so the same transaction always declares the same
+// sets no matter the ledger state it later applies against.
+func AnalyzeTx(tx *Transaction) *RWSet {
+	rw := &RWSet{
+		reads:  make(map[string]struct{}, 4),
+		writes: make(map[string]struct{}, 4),
+	}
+	// Fee charging and sequence processing always write the transaction
+	// source's account entry — even when every operation fails.
+	rw.write(accountKey(tx.Source))
+	for i := range tx.Operations {
+		op := &tx.Operations[i]
+		src := op.sourceOr(tx.Source)
+		// Signature checking (checkSignatures) reads the account entry of
+		// every operation source to resolve thresholds and signer weights.
+		rw.read(accountKey(src))
+		switch b := op.Body.(type) {
+		case *CreateAccount:
+			// debit(source, native) + createAccount(dest).
+			rw.write(accountKey(src))
+			rw.write(accountKey(b.Destination))
+		case *Payment:
+			// Native: debit/credit mutate both account entries. Issued:
+			// both trustlines, plus the destination account existence
+			// check. Declaring the superset of both shapes keeps the
+			// analysis independent of issuer short-circuits.
+			rw.write(accountKey(src))
+			rw.write(accountKey(b.Destination))
+			if !b.Asset.IsNative() {
+				rw.write(trustlineKeyOf(trustKey{src, b.Asset.Key()}))
+				rw.write(trustlineKeyOf(trustKey{b.Destination, b.Asset.Key()}))
+			}
+		case *SetOptions:
+			rw.write(accountKey(src))
+		case *ChangeTrust:
+			// Trustline create/update/delete + subentry accounting on the
+			// source; reads the issuer account for the auth_required flag.
+			rw.write(accountKey(src))
+			rw.write(trustlineKeyOf(trustKey{src, b.Asset.Key()}))
+			rw.read(accountKey(b.Asset.Issuer))
+		case *AllowTrust:
+			// Reads the issuer (src, declared above); flips the trustor's
+			// authorized flag. An invalid asset code fails before any
+			// state is touched, so the empty key is never reached.
+			if a, err := NewAsset(b.AssetCode, src); err == nil {
+				rw.write(trustlineKeyOf(trustKey{b.Trustor, a.Key()}))
+			}
+		case *AccountMerge:
+			rw.write(accountKey(src))
+			rw.write(accountKey(b.Destination))
+		case *ManageData:
+			// Entry create/update/delete + subentry accounting.
+			rw.write(accountKey(src))
+			rw.write(dataKeyOf(dataKey{src, b.Name}))
+		case *BumpSequence:
+			rw.write(accountKey(src))
+		case nil:
+			// CheckValid rejects the transaction before execution; only
+			// the already-declared source account is read.
+		default:
+			// ManageOffer and PathPayment walk the order book; any op
+			// type this switch does not know falls back to the same
+			// conservative answer.
+			rw.Serial = true
+			return rw
+		}
+	}
+	return rw
+}

@@ -1,0 +1,266 @@
+package ledger
+
+import (
+	"testing"
+
+	"stellar/internal/stellarcrypto"
+)
+
+// Unit coverage for the static read/write-set analyzer, plus the fuzz
+// target holding its core safety property: the declared write set must be
+// a superset of the keys the dirty-entry tracker records during apply —
+// for every decodable or generated transaction, valid or not. An escape
+// would let the conflict-graph scheduler run two racing transactions in
+// parallel.
+
+func TestAnalyzeTxPerOpFootprints(t *testing.T) {
+	a := AccountID("A")
+	b := AccountID("B")
+	issuer := AccountID("I")
+	usd := Asset{Code: "USD", Issuer: issuer}
+	cases := []struct {
+		name       string
+		op         OpBody
+		serial     bool
+		wantWrites []string
+		wantReads  []string // beyond the always-read op-source account
+	}{
+		{"CreateAccount", &CreateAccount{Destination: b, StartingBalance: One},
+			false, []string{accountKey(a), accountKey(b)}, nil},
+		{"Payment/native", &Payment{Destination: b, Asset: NativeAsset(), Amount: One},
+			false, []string{accountKey(a), accountKey(b)}, nil},
+		{"Payment/issued", &Payment{Destination: b, Asset: usd, Amount: One},
+			false, []string{accountKey(a), accountKey(b),
+				trustlineKeyOf(trustKey{a, usd.Key()}), trustlineKeyOf(trustKey{b, usd.Key()})}, nil},
+		{"SetOptions", &SetOptions{}, false, []string{accountKey(a)}, nil},
+		{"ChangeTrust", &ChangeTrust{Asset: usd, Limit: One},
+			false, []string{accountKey(a), trustlineKeyOf(trustKey{a, usd.Key()})},
+			[]string{accountKey(issuer)}},
+		{"AllowTrust", &AllowTrust{Trustor: b, AssetCode: "USD", Authorize: true},
+			false, []string{accountKey(a),
+				trustlineKeyOf(trustKey{b, Asset{Code: "USD", Issuer: a}.Key()})}, nil},
+		{"AccountMerge", &AccountMerge{Destination: b},
+			false, []string{accountKey(a), accountKey(b)}, nil},
+		{"ManageData", &ManageData{Name: "k", Value: []byte("v")},
+			false, []string{accountKey(a), dataKeyOf(dataKey{a, "k"})}, nil},
+		{"BumpSequence", &BumpSequence{BumpTo: 7}, false, []string{accountKey(a)}, nil},
+		{"ManageOffer", &ManageOffer{Selling: usd, Buying: NativeAsset(), Amount: One, Price: MustPrice(1, 1)},
+			true, nil, nil},
+		{"PathPayment", &PathPayment{SendAsset: NativeAsset(), SendMax: One, Destination: b, DestAsset: usd, DestAmount: 1},
+			true, nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tx := &Transaction{Source: a, SeqNum: 1, Fee: DefaultBaseFee,
+				Operations: []Operation{{Body: tc.op}}}
+			rw := AnalyzeTx(tx)
+			if rw.Serial != tc.serial {
+				t.Fatalf("Serial = %v, want %v", rw.Serial, tc.serial)
+			}
+			if tc.serial {
+				return
+			}
+			for _, k := range tc.wantWrites {
+				if !rw.WritesKey(k) {
+					t.Errorf("write set %v missing %q", rw.Writes(), k)
+				}
+			}
+			for _, k := range tc.wantReads {
+				if _, ok := rw.reads[k]; !ok && !rw.WritesKey(k) {
+					t.Errorf("read set %v missing %q", rw.Reads(), k)
+				}
+			}
+		})
+	}
+}
+
+func TestAnalyzeTxCrossSourceOp(t *testing.T) {
+	tx := &Transaction{Source: "A", SeqNum: 1, Fee: DefaultBaseFee,
+		Operations: []Operation{
+			{Source: "C", Body: &Payment{Destination: "B", Asset: NativeAsset(), Amount: 1}},
+		}}
+	rw := AnalyzeTx(tx)
+	for _, k := range []string{accountKey("A"), accountKey("B"), accountKey("C")} {
+		if !rw.WritesKey(k) {
+			t.Fatalf("write set %v missing %q", rw.Writes(), k)
+		}
+	}
+}
+
+// rwFuzzFixture is a ledger rich enough that every op type can both
+// succeed and fail: an issuer, three funded accounts, USD trustlines on
+// two of them, a data entry, and a no-subentry account that can merge.
+type rwFuzzFixture struct {
+	networkID stellarcrypto.Hash
+	keys      []stellarcrypto.KeyPair
+	ids       []AccountID
+	usd       Asset
+	snapshot  []SnapshotEntry
+}
+
+func newRWFuzzFixture(tb testing.TB) *rwFuzzFixture {
+	fx := &rwFuzzFixture{networkID: stellarcrypto.HashBytes([]byte("fuzz-rwset-network"))}
+	for i := 0; i < 4; i++ {
+		kp := stellarcrypto.KeyPairFromString("fuzz-rwset-" + string(rune('a'+i)))
+		fx.keys = append(fx.keys, kp)
+		fx.ids = append(fx.ids, AccountIDFromPublicKey(kp.Public))
+	}
+	fx.usd = Asset{Code: "USD", Issuer: fx.ids[0]}
+	master := AccountIDFromPublicKey(stellarcrypto.KeyPairFromString("fuzz-rwset-master").Public)
+	st := NewGenesisState(master)
+	env := &ApplyEnv{LedgerSeq: 2}
+	for _, id := range fx.ids {
+		op := &CreateAccount{Destination: id, StartingBalance: 500 * One}
+		if err := op.Apply(st, env, master); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		op := &ChangeTrust{Asset: fx.usd, Limit: 1_000_000 * One}
+		if err := op.Apply(st, env, fx.ids[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := (&Payment{Destination: fx.ids[1], Asset: fx.usd, Amount: 100 * One}).Apply(st, env, fx.ids[0]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := (&ManageData{Name: "seeded", Value: []byte("x")}).Apply(st, env, fx.ids[1]); err != nil {
+		tb.Fatal(err)
+	}
+	fx.snapshot = st.SnapshotAll()
+	return fx
+}
+
+// txFromBytes builds the transaction under test: well-formed envelopes
+// decode as-is, anything else drives a generator reaching every op type
+// with byte-selected sources, destinations, assets, sequence numbers, and
+// signatures (valid and invalid alike).
+func (fx *rwFuzzFixture) txFromBytes(data []byte) *Transaction {
+	if tx, err := DecodeSignedTransactionXDR(data); err == nil {
+		return tx
+	}
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	n := len(fx.ids)
+	src := int(at(0)) % n
+	tx := &Transaction{Source: fx.ids[src], SeqNum: uint64(2)<<32 + 1}
+	nops := 1 + int(at(1))%3
+	for o := 0; o < nops; o++ {
+		b1, b2 := at(3+3*o), at(4+3*o)
+		op := Operation{}
+		if b2&0x80 != 0 {
+			op.Source = fx.ids[int(b2)%n] // cross-source op
+		}
+		dst := fx.ids[int(b1)%n]
+		switch at(2+3*o) % 10 {
+		case 0:
+			fresh := AccountIDFromPublicKey(
+				stellarcrypto.KeyPairFromString("fuzz-rwset-new-" + string(rune('a'+b1%4))).Public)
+			if b1&1 == 0 {
+				fresh = dst // create-over-existing: must fail, roll back
+			}
+			op.Body = &CreateAccount{Destination: fresh, StartingBalance: Amount(b2) * One / 4}
+		case 1:
+			op.Body = &Payment{Destination: dst, Asset: NativeAsset(), Amount: Amount(b2)*One + 1}
+		case 2:
+			op.Body = &Payment{Destination: dst, Asset: fx.usd, Amount: Amount(b2) + 1}
+		case 3:
+			w := uint8(b2 % 3)
+			op.Body = &SetOptions{MasterWeight: &w}
+		case 4:
+			asset := fx.usd
+			if b1&1 == 0 {
+				asset = Asset{Code: "EUR", Issuer: fx.ids[int(b2)%n]}
+			}
+			op.Body = &ChangeTrust{Asset: asset, Limit: Amount(b2) * One}
+		case 5:
+			op.Body = &AllowTrust{Trustor: dst, AssetCode: "USD", Authorize: b2&1 == 0}
+		case 6:
+			op.Body = &AccountMerge{Destination: dst}
+		case 7:
+			names := []string{"seeded", "k1", "odd|name"}
+			var val []byte
+			if b2&1 == 0 {
+				val = []byte{b2}
+			}
+			op.Body = &ManageData{Name: names[int(b1)%len(names)], Value: val}
+		case 8:
+			op.Body = &BumpSequence{BumpTo: uint64(2)<<32 + uint64(b2)%4}
+		default: // order-book op: the analyzer must answer Serial
+			op.Body = &ManageOffer{Selling: fx.usd, Buying: NativeAsset(),
+				Amount: Amount(b2%8) * One, Price: MustPrice(int32(b1%3+1), int32(b2%3+1))}
+		}
+		tx.Operations = append(tx.Operations, op)
+	}
+	tx.Fee = Amount(len(tx.Operations)) * DefaultBaseFee
+	if at(11)&3 == 0 {
+		tx.SeqNum += uint64(at(12)) % 3 // stale/future sequence numbers
+	}
+	signers := map[AccountID]bool{tx.Source: true}
+	for i := range tx.Operations {
+		if tx.Operations[i].Source != "" {
+			signers[tx.Operations[i].Source] = true
+		}
+	}
+	for i, id := range fx.ids {
+		if !signers[id] {
+			continue
+		}
+		key := fx.keys[i]
+		if at(13)&7 == 0 {
+			key = stellarcrypto.KeyPairFromString("fuzz-rwset-forger")
+		}
+		tx.Sign(fx.networkID, key)
+	}
+	return tx
+}
+
+// FuzzReadWriteSets: for arbitrary transactions, the static analyzer's
+// declared write set must cover every key the dirty-entry tracker records
+// while applying them against a fresh fixture ledger. Serial transactions
+// make no static claim and are skipped. Seeds live in
+// testdata/fuzz/FuzzReadWriteSets; `make fuzz` and the CI fuzz-smoke job
+// run this target natively.
+func FuzzReadWriteSets(f *testing.F) {
+	fx := newRWFuzzFixture(f)
+
+	// A valid signed envelope for the decode path, plus generator bytes
+	// reaching each op selector.
+	valid := &Transaction{Source: fx.ids[1], Fee: 2 * DefaultBaseFee, SeqNum: uint64(2)<<32 + 1,
+		Operations: []Operation{
+			{Body: &Payment{Destination: fx.ids[2], Asset: fx.usd, Amount: One}},
+			{Body: &ManageData{Name: "k1", Value: []byte("v")}},
+		}}
+	valid.Sign(fx.networkID, fx.keys[1])
+	f.Add(valid.MarshalSignedXDR())
+	for sel := byte(0); sel < 10; sel++ {
+		f.Add([]byte{1, 1, sel, 3, 7, 0, 0, 0, 0, 0, 0, 1, 1, 1})
+	}
+	f.Add([]byte{2, 2, 6, 1, 0x83, 7, 2, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx := fx.txFromBytes(data)
+		rw := AnalyzeTx(tx)
+		if rw.Serial {
+			// Order-book transactions make no static claim; the scheduler
+			// runs them alone on the full state.
+			return
+		}
+		st, err := RestoreState(fx.snapshot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.TakeDirtySnapshot()
+		_ = st.ApplyTransaction(tx, fx.networkID, &ApplyEnv{LedgerSeq: 3, CloseTime: 1})
+		for _, e := range st.TakeDirtySnapshot() {
+			if !rw.WritesKey(e.Key) {
+				t.Fatalf("apply touched %q outside the declared write set %v\n(declared reads %v)",
+					e.Key, rw.Writes(), rw.Reads())
+			}
+		}
+	})
+}

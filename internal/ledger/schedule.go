@@ -1,0 +1,347 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"stellar/internal/obs"
+	"stellar/internal/stellarcrypto"
+	"stellar/internal/verify"
+)
+
+// Conflict-graph scheduling for parallel transaction apply.
+//
+// The apply-ordered transaction set is split into maximal runs of
+// statically-analyzable transactions (rwset.go); each run is partitioned
+// into connected components of its conflict graph — two transactions
+// conflict when one's declared write set intersects the other's declared
+// read or write set — and the components execute concurrently on a worker
+// pool. Each component runs on a private shard: a mini-State holding deep
+// clones of exactly the entries the component's transactions declared,
+// applied by the unchanged sequential ApplyTransaction. After the pool
+// joins, shards merge back into the base state in deterministic component
+// order, so results, dirty set, and every downstream hash are
+// byte-identical to the sequential reference (DESIGN.md §14 has the full
+// argument). Serial transactions (order-book ops) act as barriers: the
+// pending run flushes, then they apply alone on the full base state.
+
+// applyStats aggregates one ApplyTxSet's scheduler activity for the
+// apply_* metrics.
+type applyStats struct {
+	batches      int // parallel batches flushed
+	components   int // conflict-graph components executed
+	parallelTxs  int // transactions applied inside components
+	serialTxs    int // transactions forced serial
+	violations   int // writes escaping declared write sets (bug indicator)
+	criticalPath int // longest back-to-back tx chain under this schedule
+}
+
+// ApplySchedule describes how the last ApplyTxSet was scheduled; the
+// parallel-apply benchmark and the metrics layer read it. CriticalPathTxs
+// is the number of transactions that must run back-to-back even with
+// unlimited spare cores: every serial barrier, plus per batch the largest
+// per-worker transaction load under greedy longest-component-first
+// assignment. TotalTxs/CriticalPathTxs is the schedule's ideal speedup —
+// what the conflict structure permits, independent of host core count.
+type ApplySchedule struct {
+	Batches         int
+	Components      int
+	ParallelTxs     int
+	SerialTxs       int
+	CriticalPathTxs int
+}
+
+// LastApplySchedule reports the schedule of the most recent ApplyTxSet:
+// the sequential loop reports everything serial with a full-length
+// critical path.
+func (st *State) LastApplySchedule() ApplySchedule { return st.lastSchedule }
+
+// makespanTxs is the largest per-worker transaction count after greedy
+// longest-first component assignment — the batch's contribution to the
+// schedule's critical path.
+func makespanTxs(comps [][]int, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	sizes := make([]int, len(comps))
+	for i, c := range comps {
+		sizes[i] = len(c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	loads := make([]int, workers)
+	for _, s := range sizes {
+		min := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[min] {
+				min = w
+			}
+		}
+		loads[min] += s
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// applyTxsParallel is the scheduled counterpart of the sequential apply
+// loop in ApplyTxSet. txs must already be in SortForApply order; the
+// returned results are indexed exactly like txs.
+func (st *State) applyTxsParallel(txs []*Transaction, networkID stellarcrypto.Hash, env *ApplyEnv) []TxResult {
+	results := make([]TxResult, len(txs))
+	rws := make([]*RWSet, len(txs))
+	for i, tx := range txs {
+		rws[i] = AnalyzeTx(tx)
+	}
+	var stats applyStats
+	batch := make([]int, 0, len(txs))
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		comps := conflictComponents(batch, rws)
+		stats.batches++
+		stats.components += len(comps)
+		stats.parallelTxs += len(batch)
+		stats.criticalPath += makespanTxs(comps, st.applyWorkers)
+		st.runComponents(comps, rws, txs, results, networkID, env, &stats)
+		batch = batch[:0]
+	}
+	for i, tx := range txs {
+		if rws[i].Serial {
+			// Order-book transactions conflict with everything: flush the
+			// pending parallel batch, then run alone on the base state.
+			flush()
+			results[i] = st.ApplyTransaction(tx, networkID, env)
+			stats.serialTxs++
+			stats.criticalPath++
+			continue
+		}
+		batch = append(batch, i)
+	}
+	flush()
+	st.lastSchedule = ApplySchedule{
+		Batches:         stats.batches,
+		Components:      stats.components,
+		ParallelTxs:     stats.parallelTxs,
+		SerialTxs:       stats.serialTxs,
+		CriticalPathTxs: stats.criticalPath,
+	}
+	st.observeParallelApply(&stats)
+	return results
+}
+
+// conflictComponents partitions batch (ascending tx indices) into the
+// connected components of its conflict graph via union-find keyed on
+// declared entry keys. Two transactions are joined iff they both touch
+// some key and at least one of them writes it; read-read sharing does not
+// conflict. Components come back ordered by their first transaction
+// index, with members in ascending index order — so execution inside a
+// component follows apply order, and the component ordering itself is a
+// deterministic function of the (already deterministic) sorted set.
+func conflictComponents(batch []int, rws []*RWSet) [][]int {
+	parent := make([]int, len(batch))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // root at the smallest local index
+		}
+	}
+	// For every key: all writers join one set, and every reader joins it
+	// iff the key has a writer. Readers of a never-written key stay apart.
+	writersOf := make(map[string]int, len(batch)*2)
+	for li, ti := range batch {
+		for k := range rws[ti].writes {
+			if first, ok := writersOf[k]; ok {
+				union(first, li)
+			} else {
+				writersOf[k] = li
+			}
+		}
+	}
+	for li, ti := range batch {
+		for k := range rws[ti].reads {
+			if w, ok := writersOf[k]; ok {
+				union(w, li)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	order := make([]int, 0, len(batch))
+	for li, ti := range batch {
+		r := find(li)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r) // ascending first-member order
+		}
+		groups[r] = append(groups[r], ti)
+	}
+	comps := make([][]int, 0, len(order))
+	for _, r := range order {
+		comps = append(comps, groups[r])
+	}
+	return comps
+}
+
+// runComponents executes the components of one batch across the worker
+// pool and merges their shards back in deterministic order. The base
+// state is frozen for the whole pool run: workers only read it (concurrent
+// map reads, no writes), so cloning shard entries inside the workers is
+// race-free.
+func (st *State) runComponents(comps [][]int, rws []*RWSet, txs []*Transaction, results []TxResult, networkID stellarcrypto.Hash, env *ApplyEnv, stats *applyStats) {
+	shards := make([]*State, len(comps))
+	elapsed := make([]time.Duration, len(comps))
+	verify.NewPool(st.applyWorkers).Run(len(comps), func(c int) {
+		start := time.Now()
+		sh := st.buildShard(comps[c], rws)
+		for _, ti := range comps[c] {
+			results[ti] = sh.ApplyTransaction(txs[ti], networkID, env)
+		}
+		shards[c] = sh
+		elapsed[c] = time.Since(start)
+	})
+	for c, sh := range shards {
+		st.traceSpan.CompleteChild(obs.SpanApplyComponent, elapsed[c])
+		st.mergeShard(sh, comps[c], rws, stats)
+	}
+}
+
+// buildShard creates a private mini-State for one component: global
+// parameters copied from the base, plus deep clones of every entry the
+// component's transactions declared. FeePool deliberately starts at zero —
+// apply only ever adds to it (verified: nothing on the apply path reads
+// it), so the shard's final FeePool is the component's delta, and summing
+// deltas at merge time commutes.
+func (st *State) buildShard(comp []int, rws []*RWSet) *State {
+	sh := NewState()
+	sh.BaseFee = st.BaseFee
+	sh.BaseReserve = st.BaseReserve
+	sh.MaxTxSetSize = st.MaxTxSetSize
+	sh.ProtocolVersion = st.ProtocolVersion
+	sh.TotalCoins = st.TotalCoins
+	sh.nextOfferID = st.nextOfferID
+	sh.verifier = st.verifier // cache is pure and thread-safe; pool unused here
+	load := func(key string) {
+		switch key[0] {
+		case 'a':
+			id := AccountID(key[2:])
+			if _, done := sh.accounts[id]; done {
+				return
+			}
+			if a := st.accounts[id]; a != nil {
+				sh.accounts[id] = a.clone()
+			}
+		case 't':
+			if k, ok := parseTrustKeyString(key); ok {
+				if _, done := sh.trustlines[k]; done {
+					return
+				}
+				if t := st.trustlines[k]; t != nil {
+					sh.trustlines[k] = t.clone()
+				}
+			}
+		case 'd':
+			if k, ok := parseDataKeyString(key); ok {
+				if _, done := sh.data[k]; done {
+					return
+				}
+				if d := st.data[k]; d != nil {
+					sh.data[k] = d.clone()
+				}
+			}
+		}
+		// 'o' (offers) never appears in a non-serial declared set.
+	}
+	for _, ti := range comp {
+		for k := range rws[ti].reads {
+			load(k)
+		}
+		for k := range rws[ti].writes {
+			load(k)
+		}
+	}
+	return sh
+}
+
+// mergeShard folds one component's shard back into the base state. Keys
+// merge in sorted order — the shard's dirty set is a Go map, and map
+// iteration order must never reach consensus-visible state. For each
+// dirty key the shard's entry pointer moves into the base (or the base
+// entry is deleted, matching the shard's tombstone), and the key is
+// marked dirty on the base so TakeDirtySnapshot sees exactly the same set
+// the sequential reference would. Every dirty key is cross-checked
+// against the component's declared write set: an escape means the static
+// analyzer under-declared, which would have allowed a racing schedule —
+// fail loudly under SetApplyCheck, count it in production.
+func (st *State) mergeShard(sh *State, comp []int, rws []*RWSet, stats *applyStats) {
+	st.FeePool += sh.FeePool
+	if len(sh.dirty) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(sh.dirty))
+	for k := range sh.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	declared := make(map[string]struct{}, len(keys))
+	for _, ti := range comp {
+		for k := range rws[ti].writes {
+			declared[k] = struct{}{}
+		}
+	}
+	for _, k := range keys {
+		if _, ok := declared[k]; !ok {
+			stats.violations++
+			if st.applyCheck {
+				panic(fmt.Sprintf("ledger: parallel apply wrote undeclared key %q (component txs %v)", k, comp))
+			}
+		}
+		switch k[0] {
+		case 'a':
+			id := AccountID(k[2:])
+			if a := sh.accounts[id]; a != nil {
+				st.accounts[id] = a
+			} else {
+				delete(st.accounts, id)
+			}
+		case 't':
+			if tk, ok := parseTrustKeyString(k); ok {
+				if t := sh.trustlines[tk]; t != nil {
+					st.trustlines[tk] = t
+				} else {
+					delete(st.trustlines, tk)
+				}
+			}
+		case 'd':
+			if dk, ok := parseDataKeyString(k); ok {
+				if d := sh.data[dk]; d != nil {
+					st.data[dk] = d
+				} else {
+					delete(st.data, dk)
+				}
+			}
+		default:
+			// Offers cannot be dirtied by a non-serial component; treat an
+			// escape like any other undeclared write (counted above when
+			// undeclared, which an offer key always is).
+		}
+		st.markDirty(k)
+	}
+}

@@ -1,0 +1,457 @@
+package ledger
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stellar/internal/obs"
+	"stellar/internal/stellarcrypto"
+)
+
+// applyWorkerCounts mirrors the APPLY_WORKERS knob for the in-package
+// tests (the external harness in pipeline_test.go has its own copy).
+func applyWorkerCounts(t *testing.T) []int {
+	env := os.Getenv("APPLY_WORKERS")
+	if env == "" {
+		return []int{1, 2, 4, 8}
+	}
+	var out []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			t.Fatalf("APPLY_WORKERS entry %q: want positive integers", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func rwSetOf(serial bool, reads, writes []string) *RWSet {
+	rw := &RWSet{Serial: serial, reads: map[string]struct{}{}, writes: map[string]struct{}{}}
+	for _, k := range reads {
+		rw.read(k)
+	}
+	for _, k := range writes {
+		rw.write(k)
+	}
+	return rw
+}
+
+func TestConflictComponents(t *testing.T) {
+	cases := []struct {
+		name string
+		rws  []*RWSet
+		want [][]int
+	}{
+		{
+			name: "disjoint writers stay apart",
+			rws: []*RWSet{
+				rwSetOf(false, nil, []string{"a|A"}),
+				rwSetOf(false, nil, []string{"a|B"}),
+				rwSetOf(false, nil, []string{"a|C"}),
+			},
+			want: [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "shared write key joins",
+			rws: []*RWSet{
+				rwSetOf(false, nil, []string{"a|A", "a|H"}),
+				rwSetOf(false, nil, []string{"a|B"}),
+				rwSetOf(false, nil, []string{"a|C", "a|H"}),
+			},
+			want: [][]int{{0, 2}, {1}},
+		},
+		{
+			name: "read-read does not conflict",
+			rws: []*RWSet{
+				rwSetOf(false, []string{"a|I"}, []string{"a|A"}),
+				rwSetOf(false, []string{"a|I"}, []string{"a|B"}),
+			},
+			want: [][]int{{0}, {1}},
+		},
+		{
+			name: "reader joins its writer",
+			rws: []*RWSet{
+				rwSetOf(false, nil, []string{"a|A"}),
+				rwSetOf(false, []string{"a|A"}, []string{"a|B"}),
+				rwSetOf(false, nil, []string{"a|C"}),
+			},
+			want: [][]int{{0, 1}, {2}},
+		},
+		{
+			name: "transitive chains collapse into one component",
+			rws: []*RWSet{
+				rwSetOf(false, nil, []string{"a|A", "a|B"}),
+				rwSetOf(false, nil, []string{"a|B", "a|C"}),
+				rwSetOf(false, nil, []string{"a|C", "a|D"}),
+				rwSetOf(false, nil, []string{"a|E"}),
+			},
+			want: [][]int{{0, 1, 2}, {3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := make([]int, len(tc.rws))
+			for i := range batch {
+				batch[i] = i
+			}
+			got := conflictComponents(batch, tc.rws)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("components %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestConflictComponentsOrderIndependent: the partition (and its emitted
+// order) must be a function of the transaction set alone, not of map
+// iteration order — rerunning the same batch many times must give the
+// identical component list.
+func TestConflictComponentsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rws []*RWSet
+	for i := 0; i < 40; i++ {
+		var writes, reads []string
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			writes = append(writes, fmt.Sprintf("a|acct%d", rng.Intn(20)))
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			reads = append(reads, fmt.Sprintf("a|acct%d", rng.Intn(20)))
+		}
+		rws = append(rws, rwSetOf(false, reads, writes))
+	}
+	batch := make([]int, len(rws))
+	for i := range batch {
+		batch[i] = i
+	}
+	first := conflictComponents(batch, rws)
+	for rep := 0; rep < 20; rep++ {
+		if got := conflictComponents(batch, rws); !reflect.DeepEqual(got, first) {
+			t.Fatalf("rep %d: components changed: %v vs %v", rep, got, first)
+		}
+	}
+	// Members must be in ascending apply order and components ordered by
+	// their first member.
+	prevFirst := -1
+	for _, comp := range first {
+		if comp[0] <= prevFirst {
+			t.Fatalf("components out of first-member order: %v", first)
+		}
+		prevFirst = comp[0]
+		for i := 1; i < len(comp); i++ {
+			if comp[i] <= comp[i-1] {
+				t.Fatalf("component members out of apply order: %v", comp)
+			}
+		}
+	}
+}
+
+// TestScheduledApplyEquivalence drives whole transaction sets through
+// ApplyTxSet at every worker count in the matrix and demands results,
+// results hash, fee pool, and the complete final snapshot stay identical
+// to the sequential run — including sets that mix serial (order-book)
+// transactions with parallel components and transactions that fail and
+// roll back mid-set.
+func TestScheduledApplyEquivalence(t *testing.T) {
+	counts := applyWorkerCounts(t)
+	networkID := stellarcrypto.HashBytes([]byte("sched-equivalence"))
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base, fix := buildSchedState(t, networkID, seed)
+			snapshot := base.SnapshotAll()
+			sets, closeTimes := fix.generateLedgers(seed, 5)
+
+			type outcome struct {
+				results [][]TxResult
+				hashes  []stellarcrypto.Hash
+				snap    []SnapshotEntry
+				feePool Amount
+			}
+			run := func(workers int) outcome {
+				st, err := RestoreState(snapshot, nil)
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				st.SetApplyWorkers(workers)
+				st.SetApplyCheck(true)
+				var o outcome
+				xlmBefore := totalXLMOf(st)
+				for l, ts := range sets {
+					res, rh := st.ApplyTxSet(ts, networkID, &ApplyEnv{
+						LedgerSeq: uint32(3 + l), CloseTime: closeTimes[l]})
+					o.results = append(o.results, res)
+					o.hashes = append(o.hashes, rh)
+					// Lumens conserved modulo fees at every ledger, every
+					// worker count: fees moved to the pool, nothing minted.
+					if got := totalXLMOf(st); got != xlmBefore {
+						t.Fatalf("workers=%d ledger %d: XLM+fees not conserved: %d → %d",
+							workers, l, xlmBefore, got)
+					}
+				}
+				o.snap = st.SnapshotAll()
+				o.feePool = st.FeePool
+				return o
+			}
+			ref := run(1)
+			for _, w := range counts {
+				if w == 1 {
+					continue
+				}
+				got := run(w)
+				if !reflect.DeepEqual(ref.results, got.results) {
+					t.Fatalf("workers=%d: results diverged from sequential", w)
+				}
+				if !reflect.DeepEqual(ref.hashes, got.hashes) {
+					t.Fatalf("workers=%d: results hashes diverged", w)
+				}
+				if got.feePool != ref.feePool {
+					t.Fatalf("workers=%d: fee pool %d, sequential %d", w, got.feePool, ref.feePool)
+				}
+				if !reflect.DeepEqual(ref.snap, got.snap) {
+					t.Fatalf("workers=%d: final snapshots diverged", w)
+				}
+			}
+		})
+	}
+}
+
+// totalXLMOf sums every account balance plus the fee pool.
+func totalXLMOf(st *State) Amount {
+	var sum Amount
+	for _, id := range st.AccountIDs() {
+		sum += st.Account(id).Balance
+	}
+	return sum + st.FeePool
+}
+
+// schedFixture generates signed multi-op transaction sets against the
+// state buildSchedState prepared, mirroring sequence numbers the same way
+// the pipeline fixture does.
+type schedFixture struct {
+	networkID stellarcrypto.Hash
+	keys      []stellarcrypto.KeyPair
+	ids       []AccountID
+	usd       Asset
+	seqs      map[AccountID]uint64
+}
+
+// buildSchedState prepares a ledger with an issuer, seven funded accounts
+// (five holding USD trustlines), and a standing order book — applied
+// through the plain sequential path so every worker count starts from the
+// byte-identical snapshot.
+func buildSchedState(t *testing.T, networkID stellarcrypto.Hash, seed int64) (*State, *schedFixture) {
+	t.Helper()
+	f := &schedFixture{networkID: networkID, seqs: make(map[AccountID]uint64)}
+	master := stellarcrypto.KeyPairFromString(fmt.Sprintf("sched-master-%d", seed))
+	masterID := AccountIDFromPublicKey(master.Public)
+	st := NewGenesisState(masterID)
+	for i := 0; i < 8; i++ {
+		kp := stellarcrypto.KeyPairFromString(fmt.Sprintf("sched-%d-acct-%d", seed, i))
+		f.keys = append(f.keys, kp)
+		f.ids = append(f.ids, AccountIDFromPublicKey(kp.Public))
+	}
+	f.usd = Asset{Code: "USD", Issuer: f.ids[0]}
+	apply := func(env ApplyEnv, tx *Transaction, kp stellarcrypto.KeyPair) {
+		t.Helper()
+		tx.Fee = st.MinFee(tx)
+		tx.Sign(networkID, kp)
+		if res := st.ApplyTransaction(tx, networkID, &env); !res.Success {
+			t.Fatalf("setup tx failed: %s %v", res.Err, res.OpErrors)
+		}
+	}
+	fund := &Transaction{Source: masterID, SeqNum: 1}
+	for _, id := range f.ids {
+		fund.Operations = append(fund.Operations,
+			Operation{Body: &CreateAccount{Destination: id, StartingBalance: 5_000 * One}})
+	}
+	apply(ApplyEnv{LedgerSeq: 2, CloseTime: 1_000}, fund, master)
+	seqBase := uint64(2) << 32
+	for i := 1; i <= 5; i++ {
+		trust := &Transaction{Source: f.ids[i], SeqNum: seqBase + 1,
+			Operations: []Operation{{Body: &ChangeTrust{Asset: f.usd, Limit: 1_000_000 * One}}}}
+		apply(ApplyEnv{LedgerSeq: 2, CloseTime: 1_000}, trust, f.keys[i])
+	}
+	issue := &Transaction{Source: f.ids[0], SeqNum: seqBase + 1}
+	for i := 1; i <= 5; i++ {
+		issue.Operations = append(issue.Operations,
+			Operation{Body: &Payment{Destination: f.ids[i], Asset: f.usd, Amount: 2_000 * One}})
+	}
+	apply(ApplyEnv{LedgerSeq: 2, CloseTime: 1_000}, issue, f.keys[0])
+	// A standing USD/XLM book so path payments and offers can cross.
+	book := &Transaction{Source: f.ids[1], SeqNum: seqBase + 2,
+		Operations: []Operation{{Body: &ManageOffer{
+			Selling: f.usd, Buying: NativeAsset(), Amount: 500 * One, Price: MustPrice(1, 1)}}}}
+	apply(ApplyEnv{LedgerSeq: 2, CloseTime: 1_000}, book, f.keys[1])
+	for i, id := range f.ids {
+		f.seqs[id] = seqBase + 2
+		if i == 1 {
+			f.seqs[id] = seqBase + 3
+		}
+	}
+	st.TakeDirtySnapshot()
+	return st, f
+}
+
+// generateLedgers builds n signed multi-op sets: native and USD payments
+// (some back to the issuer), offers and path payments (serial barriers),
+// data entries, and deliberately doomed transactions whose final overdraft
+// rolls back everything before it.
+func (f *schedFixture) generateLedgers(seed int64, n int) ([]*TxSet, []int64) {
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	sets := make([]*TxSet, 0, n)
+	times := make([]int64, 0, n)
+	for l := 0; l < n; l++ {
+		var txs []*Transaction
+		ntx := 6 + rng.Intn(6)
+		for k := 0; k < ntx; k++ {
+			src := 1 + rng.Intn(5)
+			tx := &Transaction{Source: f.ids[src], SeqNum: f.seqs[f.ids[src]]}
+			for o := 1 + rng.Intn(4); o > 0; o-- {
+				switch rng.Intn(6) {
+				case 0:
+					tx.Operations = append(tx.Operations, Operation{Body: &Payment{
+						Destination: f.ids[1+rng.Intn(7)], Asset: NativeAsset(),
+						Amount: Amount(1+rng.Intn(20)) * One}})
+				case 1:
+					dst := f.ids[rng.Intn(6)] // includes the issuer: burns
+					tx.Operations = append(tx.Operations, Operation{Body: &Payment{
+						Destination: dst, Asset: f.usd, Amount: Amount(1 + rng.Intn(int(One)))}})
+				case 2:
+					tx.Operations = append(tx.Operations, Operation{Body: &ManageOffer{
+						Selling: f.usd, Buying: NativeAsset(),
+						Amount: Amount(1+rng.Intn(10)) * One,
+						Price:  MustPrice(int32(1+rng.Intn(3)), int32(1+rng.Intn(3)))}})
+				case 3:
+					tx.Operations = append(tx.Operations, Operation{Body: &PathPayment{
+						SendAsset: NativeAsset(), SendMax: 50 * One,
+						Destination: f.ids[1+rng.Intn(5)], DestAsset: f.usd,
+						DestAmount: Amount(1 + rng.Intn(int(One)))}})
+				case 4:
+					tx.Operations = append(tx.Operations, Operation{Body: &ManageData{
+						Name: fmt.Sprintf("k%d", rng.Intn(2)), Value: []byte{byte(rng.Intn(256))}}})
+				default:
+					tx.Operations = append(tx.Operations, Operation{Body: &Payment{
+						Destination: f.ids[6+rng.Intn(2)], Asset: NativeAsset(),
+						Amount: Amount(1+rng.Intn(5)) * One}})
+				}
+			}
+			if rng.Intn(4) == 0 { // doomed: forces a mid-set rollback
+				tx.Operations = append(tx.Operations, Operation{Body: &Payment{
+					Destination: f.ids[0], Asset: NativeAsset(), Amount: MaxAmount / 2}})
+			}
+			tx.Fee = Amount(len(tx.Operations)) * DefaultBaseFee
+			tx.Sign(f.networkID, f.keys[src])
+			f.seqs[tx.Source]++ // fee+seq stick whether or not the ops succeed
+			txs = append(txs, tx)
+		}
+		sets = append(sets, &TxSet{Txs: txs})
+		times = append(times, int64(2_000+l))
+	}
+	return sets, times
+}
+
+// TestParallelApplyMetricsAndScheduling asserts the scheduler actually
+// parallelizes: a disjoint-payment set at 4 workers must split into many
+// components, count its transactions as parallel, and record zero
+// write-set violations — while a set of order-book transactions must be
+// forced serial.
+func TestParallelApplyMetricsAndScheduling(t *testing.T) {
+	networkID := stellarcrypto.HashBytes([]byte("sched-metrics"))
+	base, fix := buildSchedState(t, networkID, 99)
+	snapshot := base.SnapshotAll()
+	st, err := RestoreState(snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st.SetObs(reg)
+	st.SetApplyWorkers(4)
+	st.SetApplyCheck(true)
+
+	counter := func(name string) float64 {
+		for _, fam := range reg.Snapshot() {
+			if fam.Name == name {
+				var sum float64
+				for _, s := range fam.Samples {
+					sum += s.Value
+				}
+				return sum
+			}
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+
+	// Five disjoint native payments from five distinct sources.
+	var txs []*Transaction
+	for i := 1; i <= 5; i++ {
+		tx := &Transaction{Source: fix.ids[i], SeqNum: fix.seqs[fix.ids[i]],
+			Operations: []Operation{{Body: &Payment{
+				Destination: fix.ids[i], Asset: NativeAsset(), Amount: One}}}}
+		tx.Fee = DefaultBaseFee
+		tx.Sign(networkID, fix.keys[i])
+		fix.seqs[fix.ids[i]]++
+		txs = append(txs, tx)
+	}
+	// Self-payments touch only the source account: five one-tx components.
+	st.ApplyTxSet(&TxSet{Txs: txs}, networkID, &ApplyEnv{LedgerSeq: 3, CloseTime: 2_000})
+	if got := counter("apply_components_total"); got != 5 {
+		t.Fatalf("apply_components_total = %v, want 5", got)
+	}
+	if got := counter("apply_parallel_txs_total"); got != 5 {
+		t.Fatalf("apply_parallel_txs_total = %v, want 5", got)
+	}
+	if got := counter("apply_serial_txs_total"); got != 0 {
+		t.Fatalf("apply_serial_txs_total = %v, want 0", got)
+	}
+
+	// Two order-book transactions: serial, zero parallel components added.
+	var serialTxs []*Transaction
+	for i := 1; i <= 2; i++ {
+		tx := &Transaction{Source: fix.ids[i], SeqNum: fix.seqs[fix.ids[i]],
+			Operations: []Operation{{Body: &ManageOffer{
+				Selling: NativeAsset(), Buying: fix.usd, Amount: One, Price: MustPrice(1, 1)}}}}
+		tx.Fee = DefaultBaseFee
+		tx.Sign(networkID, fix.keys[i])
+		fix.seqs[fix.ids[i]]++
+		serialTxs = append(serialTxs, tx)
+	}
+	st.ApplyTxSet(&TxSet{Txs: serialTxs}, networkID, &ApplyEnv{LedgerSeq: 4, CloseTime: 2_001})
+	if got := counter("apply_serial_txs_total"); got != 2 {
+		t.Fatalf("apply_serial_txs_total = %v, want 2", got)
+	}
+	if got := counter("apply_rwset_violations_total"); got != 0 {
+		t.Fatalf("apply_rwset_violations_total = %v, want 0", got)
+	}
+	if got := counter("apply_workers"); got != 4 {
+		t.Fatalf("apply_workers gauge = %v, want 4", got)
+	}
+}
+
+// TestMergeShardViolationPanics proves the runtime cross-check fails
+// loudly: merging a shard whose dirty set escapes the declared writes
+// must panic under SetApplyCheck.
+func TestMergeShardViolationPanics(t *testing.T) {
+	st := NewState()
+	st.SetApplyCheck(true)
+	sh := NewState()
+	sh.accounts["X"] = &AccountEntry{ID: "X"}
+	sh.markDirty(accountKey("X"))
+	var stats applyStats
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undeclared write merged without panic")
+		}
+		if stats.violations != 1 {
+			t.Fatalf("violations = %d, want 1", stats.violations)
+		}
+	}()
+	st.mergeShard(sh, []int{0}, []*RWSet{rwSetOf(false, nil, []string{"a|Y"})}, &stats)
+}

@@ -129,6 +129,9 @@ type MicroBench struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds b.ReportMetric custom units (e.g. "ops/s",
+	// "sched-speedup") keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // BenchReport is one BENCH_*.json document.
@@ -270,6 +273,11 @@ func ParseGoBench(r io.Reader) ([]MicroBench, error) {
 				row.BytesPerOp = int64(v)
 			case "allocs/op":
 				row.AllocsPerOp = int64(v)
+			default:
+				if row.Extra == nil {
+					row.Extra = make(map[string]float64)
+				}
+				row.Extra[f[i+1]] = v
 			}
 		}
 		if row.NsPerOp > 0 {

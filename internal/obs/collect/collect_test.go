@@ -298,6 +298,7 @@ func TestParseGoBench(t *testing.T) {
 goarch: amd64
 BenchmarkSCPRound-8         	     100	  11438775 ns/op	    1024 B/op	      12 allocs/op
 BenchmarkVerifyTxSet        	      50	     22000 ns/op	   57.20 MB/s
+BenchmarkApplyTxSetParallel/disjoint/workers=8         	      20	   1500000 ns/op	     14000 ops/s	         8.000 sched-speedup
 some log line
 PASS
 ok  	stellar	1.2s
@@ -306,8 +307,8 @@ ok  	stellar	1.2s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("parsed %d rows, want 2", len(rows))
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3", len(rows))
 	}
 	if rows[0].Name != "BenchmarkSCPRound" || rows[0].NsPerOp != 11438775 ||
 		rows[0].BytesPerOp != 1024 || rows[0].AllocsPerOp != 12 {
@@ -315,6 +316,9 @@ ok  	stellar	1.2s
 	}
 	if rows[1].Name != "BenchmarkVerifyTxSet" || rows[1].MBPerSec != 57.2 {
 		t.Errorf("row 1: %+v", rows[1])
+	}
+	if rows[2].Extra["ops/s"] != 14000 || rows[2].Extra["sched-speedup"] != 8 {
+		t.Errorf("row 2 custom metrics: %+v", rows[2])
 	}
 }
 
