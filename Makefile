@@ -24,10 +24,13 @@ OBS_SMOKE_DIR ?= obs-smoke-logs
 # INGRESS_SMOKE_DIR is where ingress-smoke writes the per-node logs CI uploads.
 INGRESS_SMOKE_DIR ?= ingress-smoke-logs
 
+# ALERTS_SMOKE_DIR is where alerts-smoke writes logs and crash bundles CI uploads.
+ALERTS_SMOKE_DIR ?= alerts-smoke-logs
+
 # STATICCHECK is the staticcheck binary `make check` uses when present.
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test race vet fmt staticcheck check bench bench-smoke trace-smoke fuzz chaos soak node-smoke bench-cluster ingress-smoke
+.PHONY: all build test race vet fmt staticcheck check bench bench-smoke trace-smoke fuzz chaos soak node-smoke bench-cluster ingress-smoke alerts-smoke
 
 all: check
 
@@ -113,6 +116,13 @@ node-smoke:
 # zero accepted-then-lost). Publishes the probe-extended BENCH_cluster.json.
 ingress-smoke:
 	OBS_SMOKE_DIR=$(INGRESS_SMOKE_DIR) ./scripts/ingress-smoke.sh
+
+# alerts-smoke boots a 3-process TCP quorum with the detection stack on,
+# wedges two validators with SIGSTOP, and asserts the alerting loop end
+# to end: close_stall and quorum_unavailable fire on the survivor, the
+# watchdog dumps a crash bundle, and every alert resolves after SIGCONT.
+alerts-smoke:
+	ALERTS_SMOKE_DIR=$(ALERTS_SMOKE_DIR) ./scripts/alerts-smoke.sh
 
 # chaos runs the fault-injection acceptance scenarios (partition +
 # Byzantine equivocators + heal across 20 seeds, plus the soak sweep).

@@ -50,6 +50,8 @@ func main() {
 	common.Register(flag.CommandLine)
 	var ingress cliutil.IngressFlags
 	ingress.Register(flag.CommandLine)
+	var alerts cliutil.AlertFlags
+	alerts.Register(flag.CommandLine)
 	flag.Parse()
 	if *validators < 1 {
 		fmt.Fprintln(os.Stderr, "error: -validators must be at least 1")
@@ -151,6 +153,28 @@ func main() {
 		IPRate:      ingress.SubmitIPRate,
 		IPBurst:     ingress.SubmitIPBurst,
 	})
+
+	// Detection stack over the serving validator: sampler → SLO engine →
+	// watchdog → flight recorder. The pre-sample hook refreshes the quorum
+	// gauges under the server lock (ledger close normally refreshes them —
+	// exactly the event a stall withholds). MinPeers stays 0: the demo's
+	// validators share one process, so there is no transport to lose.
+	const nodeName = "demo-validator-0"
+	stack := alerts.Build(cliutil.AlertWiring{
+		Node:     node,
+		NodeName: nodeName,
+		Pre: func() {
+			srv.Mu.Lock()
+			node.RefreshQuorumHealth()
+			srv.Mu.Unlock()
+		},
+		Log: node.Obs().Log,
+	})
+	if stack != nil {
+		srv.SetAlerts(stack.Engine, nodeName, stack.Clock)
+		stack.Start()
+		defer stack.Stop()
+	}
 
 	// Drive virtual time in near-real-time under the server lock until
 	// shutdown is requested.

@@ -54,10 +54,12 @@ func main() {
 	common.Register(flag.CommandLine)
 	var ingress cliutil.IngressFlags
 	ingress.Register(flag.CommandLine)
+	var alerts cliutil.AlertFlags
+	alerts.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(*listen, *peersFlag, *seed, *quorumFlag, *horizonAddr, *metricsAddr,
-		*network, *interval, *drift, *queueSize, *verbose, &common, &ingress); err != nil {
+		*network, *interval, *drift, *queueSize, *verbose, &common, &ingress, &alerts); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
@@ -65,7 +67,7 @@ func main() {
 
 func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network string,
 	interval, drift time.Duration, queueSize int, verbose bool,
-	common *cliutil.CommonFlags, ingress *cliutil.IngressFlags) error {
+	common *cliutil.CommonFlags, ingress *cliutil.IngressFlags, alerts *cliutil.AlertFlags) error {
 
 	labels := strings.Split(quorumFlag, ",")
 	ids := make([]fba.NodeID, 0, len(labels))
@@ -180,8 +182,42 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		IPBurst:     ingress.SubmitIPBurst,
 	})
 
+	// Detection stack: registry sampler → SLO engine → liveness watchdog →
+	// flight recorder. The pre-sample hook refreshes the pull-style quorum
+	// gauges under the event-loop lock, because ledger close — the usual
+	// refresher — is exactly what a stall withholds. peer-loss arms at
+	// threshold-1: fewer live peers than that makes quorum unreachable.
+	stack := alerts.Build(cliutil.AlertWiring{
+		Node:     node,
+		NodeName: seed,
+		MinPeers: qset.Threshold - 1,
+		Pre:      func() { loop.Run(func() { node.RefreshQuorumHealth() }) },
+		Log:      ob.Log,
+	})
+	if stack != nil {
+		srv.SetAlerts(stack.Engine, seed, stack.Clock)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps a crash bundle without killing the process — the
+	// operator's on-demand post-mortem switch.
+	if stack != nil {
+		stack.Start()
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		defer signal.Stop(quitc)
+		go func() {
+			for range quitc {
+				if dir, err := stack.Flight.Dump("sigquit"); err != nil {
+					fmt.Fprintf(os.Stderr, "crash bundle: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "crash bundle written to %s\n", dir)
+				}
+			}
+		}()
+	}
 
 	servers := make([]*http.Server, 0, 2)
 	errc := make(chan error, 2)
@@ -215,8 +251,10 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		return err
 	}
 
-	// Graceful shutdown: stop serving HTTP, tear down the overlay, then
-	// flush the trace while the node state is quiescent.
+	// Graceful shutdown: stop serving HTTP, halt the sampler (its pre-hook
+	// takes the event-loop lock, so it must quiesce before the loop dies),
+	// tear down the overlay, then flush the trace while the node state is
+	// quiescent.
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	for _, hs := range servers {
@@ -224,6 +262,7 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
 		}
 	}
+	stack.Stop()
 	mgr.Close()
 	loop.Close()
 	if tracer != nil {

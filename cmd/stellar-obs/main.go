@@ -32,6 +32,8 @@ func main() {
 	switch os.Args[1] {
 	case "table":
 		err = cmdTable(os.Args[2:])
+	case "alerts":
+		err = cmdAlerts(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
 	case "bench":
@@ -57,6 +59,7 @@ func usage() {
 
 commands:
   table   render the fleet status table (add -watch for live refresh)
+  alerts  sweep every node's /debug/alerts (add -fail-on-firing for CI)
   merge   merge every node's span store into one Perfetto trace
   bench   drive load and write a stellar-bench/v1 cluster report
   check   validate a BENCH_*.json document against the schema
@@ -99,6 +102,41 @@ func cmdTable(args []string) error {
 	collect.Watch(c, targets, *watch, *count, func(table string) {
 		fmt.Printf("--- %s\n%s", time.Now().Format(time.TimeOnly), table)
 	})
+	return nil
+}
+
+func cmdAlerts(args []string) error {
+	fs := flag.NewFlagSet("alerts", flag.ExitOnError)
+	nodes := targetsFlag(fs)
+	watch := fs.Duration("watch", 0, "refresh interval (0 = one shot)")
+	count := fs.Int("count", 0, "number of watch passes (0 = forever)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	failOnFiring := fs.Bool("fail-on-firing", false, "exit non-zero if any alert is firing (or any node is down)")
+	fs.Parse(args)
+	targets, err := parseTargets(*nodes)
+	if err != nil {
+		return err
+	}
+	c := collect.NewClient(*timeout)
+	var firing int
+	for i := 0; ; i++ {
+		if i > 0 {
+			time.Sleep(*watch)
+		}
+		rows := collect.FetchAlertRows(c, targets)
+		var table string
+		table, firing = collect.AlertsTable(rows)
+		if *watch > 0 {
+			fmt.Printf("--- %s\n", time.Now().Format(time.TimeOnly))
+		}
+		fmt.Print(table)
+		if *watch <= 0 || (*count > 0 && i+1 >= *count) {
+			break
+		}
+	}
+	if *failOnFiring && firing > 0 {
+		return fmt.Errorf("%d alert(s) firing", firing)
+	}
 	return nil
 }
 

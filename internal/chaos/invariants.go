@@ -19,7 +19,7 @@ type NodeView interface {
 // InvariantError reports a violated invariant. The runner wraps it with
 // the scenario seed and replay command before surfacing it.
 type InvariantError struct {
-	Invariant string // "safety" | "monotonicity" | "liveness"
+	Invariant string // "safety" | "monotonicity" | "liveness" | "detection"
 	Detail    string
 }
 

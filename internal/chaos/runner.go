@@ -11,6 +11,9 @@ import (
 	"stellar/internal/experiments"
 	"stellar/internal/fba"
 	"stellar/internal/obs"
+	"stellar/internal/obs/flight"
+	"stellar/internal/obs/slo"
+	"stellar/internal/obs/timeseries"
 	"stellar/internal/qconfig"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
@@ -30,6 +33,13 @@ type Report struct {
 	// Phases is the per-phase latency decomposition when the scenario ran
 	// with Trace set, nil otherwise.
 	Phases *obs.Decomposition
+	// AlertsFired lists every alert that fired on any honest node during
+	// an Alerts-enabled run; AlertsUnresolved lists those still firing at
+	// the end; Bundles lists crash-bundle directories the flight
+	// recorders wrote.
+	AlertsFired      []string
+	AlertsUnresolved []string
+	Bundles          []string
 }
 
 // String renders the report as one line.
@@ -78,6 +88,20 @@ type Runner struct {
 	baseLatency simnet.LatencyModel
 	ins         *instruments
 	log         *slog.Logger
+	probes      []*alertProbe
+}
+
+// alertProbe is one honest validator's detection stack: a time-series
+// ring over the node's private registry, the SLO engine judging it, and
+// (optionally) a flight recorder dumping crash bundles on close stalls.
+// The simulation is single-threaded, so the runner samples and evaluates
+// every probe between ticks with no extra locking.
+type alertProbe struct {
+	idx     int
+	ring    *timeseries.Ring
+	engine  *slo.Engine
+	flight  *flight.Recorder
+	bundles []string
 }
 
 // Run builds and executes a scenario; ob (optional) supplies the metric
@@ -196,7 +220,50 @@ func NewRunner(sc Scenario, ob *obs.Obs) (*Runner, error) {
 		}
 		r.Advs = append(r.Advs, adv)
 	}
+
+	if sc.Alerts {
+		for i, n := range sim.Nodes {
+			p := &alertProbe{idx: i, ring: timeseries.New(0)}
+			p.engine = slo.NewEngine(p.ring, slo.DefaultRules(slo.Config{
+				LedgerInterval: sc.LedgerInterval,
+			}), n.Obs().Reg, ob.Log)
+			if sc.BundleDir != "" {
+				p.flight = flight.New(flight.Config{
+					Dir:    sc.BundleDir,
+					Node:   fmt.Sprintf("node-%d", i),
+					Ring:   p.ring,
+					Tracer: n.Obs().Tracer,
+					Proto:  n.Obs().Trace,
+					Alerts: p.engine,
+					Clock:  sim.Net.Now,
+					Log:    ob.Log,
+				})
+				probe := p
+				p.engine.OnTransition(func(rule slo.Rule, from, to slo.State, now time.Duration) {
+					if rule.Name == slo.RuleCloseStall && to == slo.StateFiring {
+						if dir, ok := probe.flight.AutoDump("close-stall", now); ok {
+							probe.bundles = append(probe.bundles, dir)
+						}
+					}
+				})
+			}
+			r.probes = append(r.probes, p)
+		}
+	}
 	return r, nil
+}
+
+// sampleProbes feeds every probe one detection tick: refresh the node's
+// pull-style quorum gauges, snapshot its registry into the ring, and run
+// the rule engine on the virtual clock. Gauges otherwise refresh only at
+// ledger close — exactly the event a stall withholds.
+func (r *Runner) sampleProbes(now time.Duration) {
+	for _, p := range r.probes {
+		n := r.Sim.Nodes[p.idx]
+		n.RefreshQuorumHealth()
+		p.ring.Observe(now, n.Obs().Reg.Snapshot())
+		p.engine.Evaluate(now)
+	}
 }
 
 // apply injects one fault into the running network.
@@ -283,6 +350,7 @@ func (r *Runner) Run() (*Report, error) {
 			if ie := r.Checker.Check(); ie != nil {
 				return ie
 			}
+			r.sampleProbes(net.Now())
 			if net.Now() >= nextAE {
 				for _, n := range r.Sim.Nodes {
 					n.RebroadcastLatest()
@@ -320,6 +388,46 @@ func (r *Runner) Run() (*Report, error) {
 		return nil, r.fail(ie)
 	}
 
+	// Detection assertions: the alerts the scenario expected must have
+	// fired, and the ones required to resolve must not be firing anywhere
+	// now that the network is healed.
+	var alertsFired, alertsUnresolved, bundles []string
+	if len(r.probes) > 0 {
+		firedSet := make(map[string]bool)
+		firingSet := make(map[string]bool)
+		for _, p := range r.probes {
+			for _, name := range p.engine.EverFired() {
+				firedSet[name] = true
+				if p.engine.State(name) == slo.StateFiring {
+					firingSet[name] = true
+				}
+			}
+			bundles = append(bundles, p.bundles...)
+		}
+		for name := range firedSet {
+			alertsFired = append(alertsFired, name)
+		}
+		for name := range firingSet {
+			alertsUnresolved = append(alertsUnresolved, name)
+		}
+		sort.Strings(alertsFired)
+		sort.Strings(alertsUnresolved)
+		for _, exp := range sc.ExpectAlerts {
+			if exp.MustFire && !firedSet[exp.Alert] {
+				return nil, r.fail(&InvariantError{Invariant: "detection",
+					Detail: fmt.Sprintf("alert %q never fired on any honest node (fired: %v)", exp.Alert, alertsFired)})
+			}
+			if exp.MustResolve && firingSet[exp.Alert] {
+				return nil, r.fail(&InvariantError{Invariant: "detection",
+					Detail: fmt.Sprintf("alert %q still firing after heal and liveness recovery", exp.Alert)})
+			}
+		}
+		if sc.NoAlerts && len(alertsFired) > 0 {
+			return nil, r.fail(&InvariantError{Invariant: "detection",
+				Detail: fmt.Sprintf("fault-free run fired alerts: %v", alertsFired)})
+		}
+	}
+
 	rep := &Report{
 		Name:           sc.Name,
 		Seed:           sc.Seed,
@@ -343,6 +451,9 @@ func (r *Runner) Run() (*Report, error) {
 	if r.Sim.Tracer != nil {
 		rep.Phases = r.Sim.Tracer.Decompose()
 	}
+	rep.AlertsFired = alertsFired
+	rep.AlertsUnresolved = alertsUnresolved
+	rep.Bundles = bundles
 	if r.ins != nil {
 		r.ins.scenarios.With("pass").Inc()
 		r.ins.ledgers.Add(float64(rep.MinSeq))

@@ -66,6 +66,32 @@ type Scenario struct {
 	// Trace attaches a causal span tracer to the honest validators; the
 	// report then carries a per-phase latency decomposition (Report.Phases).
 	Trace bool
+
+	// Alerts attaches a per-validator SLO engine (internal/obs/slo) fed by
+	// per-tick registry samples, making detection itself a tested
+	// invariant. Implied by ExpectAlerts, NoAlerts, or BundleDir.
+	Alerts bool
+	// ExpectAlerts are detection assertions checked at end of run.
+	ExpectAlerts []AlertExpectation
+	// NoAlerts asserts no alert ever fired on any honest node — the
+	// false-positive guard for fault-free soaks.
+	NoAlerts bool
+	// BundleDir, when set, attaches a flight recorder to every honest
+	// node: a close-stall alert firing dumps a crash bundle there
+	// (Report.Bundles lists the directories).
+	BundleDir string
+}
+
+// AlertExpectation asserts one alert's behavior across a scenario.
+type AlertExpectation struct {
+	// Alert names the rule (slo.RuleCloseStall etc.).
+	Alert string
+	// MustFire requires the alert to have fired on at least one honest
+	// node at some point during the run.
+	MustFire bool
+	// MustResolve requires the alert to not be firing on any honest node
+	// when the run ends (after heal and liveness recovery).
+	MustResolve bool
 }
 
 func (sc *Scenario) defaults() {
@@ -101,6 +127,9 @@ func (sc *Scenario) defaults() {
 	}
 	if sc.AntiEntropy == 0 {
 		sc.AntiEntropy = 2 * time.Second
+	}
+	if len(sc.ExpectAlerts) > 0 || sc.NoAlerts || sc.BundleDir != "" {
+		sc.Alerts = true
 	}
 }
 

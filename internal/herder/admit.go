@@ -133,6 +133,7 @@ func (n *Node) AdmitTx(tx *ledger.Transaction) AdmitResult {
 		return res
 	}
 
+	n.admitTimes[h] = n.net.Now()
 	n.noteEvicted(add.Evicted)
 	n.traceSubmitTx(h, add.Outcome)
 	n.updatePoolGauges()

@@ -5,6 +5,9 @@ import (
 	"time"
 
 	"stellar/internal/fba"
+	"stellar/internal/ledger"
+	"stellar/internal/simnet"
+	"stellar/internal/stellarcrypto"
 )
 
 func healthByNode(rep *QuorumHealthReport) map[fba.NodeID]NodeHealth {
@@ -116,6 +119,133 @@ func TestQuorumHealthNeverHeard(t *testing.T) {
 	if !rep.VBlockingAtRisk || rep.QuorumAvailable {
 		t.Fatalf("silent network health wrong: vblock=%v avail=%v",
 			rep.VBlockingAtRisk, rep.QuorumAvailable)
+	}
+}
+
+// buildHealthQuorum is buildPair generalized to count validators (flat
+// majority quorum), for health geometries a 3-node net cannot express.
+func buildHealthQuorum(t *testing.T, count int) (*simnet.Network, []*Node) {
+	t.Helper()
+	net := simnet.New(11)
+	net.SetLatency(simnet.UniformLatency(2*time.Millisecond, 8*time.Millisecond))
+	nid := stellarcrypto.HashBytes([]byte("herder-health-net"))
+	kps := stellarcrypto.DeterministicKeyPairs("health-test", count)
+	ids := make([]fba.NodeID, count)
+	for i, kp := range kps {
+		ids[i] = fba.NodeIDFromPublicKey(kp.Public)
+	}
+	genesis, _ := GenesisState(nid)
+	snap := genesis.SnapshotAll()
+	ghdr := ledger.GenesisHeader(genesis, 0)
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		n, err := New(net, Config{
+			Keys:           kps[i],
+			QSet:           fba.Majority(ids...),
+			NetworkID:      nid,
+			LedgerInterval: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ledger.RestoreState(snap, ghdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Bootstrap(st, 0)
+		nodes[i] = n
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.Overlay().Connect(b.Addr())
+			}
+		}
+	}
+	return net, nodes
+}
+
+// A node whose every peer goes dark must report the worst case — all
+// silent, v-blocking risk, quorum unavailable — and then walk all the way
+// back to healthy after the heal, not stick on stale silence evidence.
+// The fault is a link partition (node 0 alone vs the rest), the same
+// shape the chaos harness injects: unlike SetDown it keeps the far
+// side's timers alive, so the heal is exercised end to end.
+func TestQuorumHealthAllSilentAndRecovery(t *testing.T) {
+	net, nodes, _ := buildPair(t, nil)
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunFor(10 * time.Second)
+
+	net.PartitionGroups(
+		[]simnet.Addr{nodes[0].Addr()},
+		[]simnet.Addr{nodes[1].Addr(), nodes[2].Addr()})
+	net.RunFor(15 * time.Second)
+
+	rep := nodes[0].QuorumHealth()
+	for _, h := range rep.Nodes {
+		if !h.Silent {
+			t.Fatalf("peer not silent with the whole network dark: %+v", h)
+		}
+	}
+	if !rep.VBlockingAtRisk || rep.QuorumAvailable {
+		t.Fatalf("all-silent health wrong: vblock=%v avail=%v",
+			rep.VBlockingAtRisk, rep.QuorumAvailable)
+	}
+	if len(rep.MissingOrBehind) != 2 {
+		t.Fatalf("missing_or_behind = %v, want both peers", rep.MissingOrBehind)
+	}
+
+	// Heal: fresh envelopes must clear the silence verdicts and the
+	// risk flags once consensus resumes.
+	net.HealAll()
+	for _, n := range nodes {
+		n.RebroadcastLatest()
+	}
+	net.RunFor(20 * time.Second)
+
+	rep = nodes[0].QuorumHealth()
+	for _, h := range rep.Nodes {
+		if !h.Healthy() {
+			t.Fatalf("peer still unhealthy after heal: %+v", h)
+		}
+	}
+	if rep.VBlockingAtRisk || !rep.QuorumAvailable {
+		t.Fatalf("post-heal health wrong: vblock=%v avail=%v",
+			rep.VBlockingAtRisk, rep.QuorumAvailable)
+	}
+}
+
+// The v-blocking boundary, on a geometry where it is not the same as
+// losing quorum one node earlier: 4 validators, threshold 3, so TWO
+// unhealthy nodes are the smallest v-blocking set. One peer down must
+// not trip the risk flag; two must trip it and take availability with it.
+func TestQuorumHealthExactlyVBlocking(t *testing.T) {
+	net, nodes := buildHealthQuorum(t, 4)
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunFor(10 * time.Second)
+
+	net.SetDown(nodes[3].Addr())
+	net.RunFor(15 * time.Second)
+	rep := nodes[0].QuorumHealth()
+	if rep.VBlockingAtRisk {
+		t.Fatal("one of four down is below the v-blocking boundary")
+	}
+	if !rep.QuorumAvailable {
+		t.Fatal("quorum must survive one of four down (threshold 3)")
+	}
+
+	net.SetDown(nodes[2].Addr())
+	net.RunFor(15 * time.Second)
+	rep = nodes[0].QuorumHealth()
+	if !rep.VBlockingAtRisk {
+		t.Fatal("two of four down is exactly v-blocking; risk not reported")
+	}
+	if rep.QuorumAvailable {
+		t.Fatal("quorum reported available with only 2 of 4 healthy (threshold 3)")
 	}
 }
 

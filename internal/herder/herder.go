@@ -113,6 +113,10 @@ type Node struct {
 	// lastLedgerTxs is the transaction count of the latest close, served
 	// by FeeStats as a demand signal.
 	lastLedgerTxs int
+	// admitTimes stamps each pooled tx at admission so applyLedger can
+	// observe the end-to-end submit→applied latency. Entries leave with
+	// their tx: applied, evicted, or pruned stale.
+	admitTimes map[stellarcrypto.Hash]time.Duration
 
 	txsets map[stellarcrypto.Hash]*ledger.TxSet
 	// txsetSeen records the ledger at which each tx set was learned, for
@@ -196,6 +200,7 @@ func New(net simnet.Env, cfg Config) (*Node, error) {
 		net:          net,
 		headers:      make(map[uint32]stellarcrypto.Hash),
 		pool:         mempool.New(mempool.Config{MaxTxs: cfg.MempoolMaxTxs, MaxPerSource: cfg.MempoolMaxPerSource}),
+		admitTimes:   make(map[stellarcrypto.Hash]time.Duration),
 		txsets:       make(map[stellarcrypto.Hash]*ledger.TxSet),
 		txsetSeen:    make(map[stellarcrypto.Hash]uint32),
 		recent:       make(map[uint32]recentLedger),
@@ -209,6 +214,7 @@ func New(net simnet.Env, cfg Config) (*Node, error) {
 	}
 	n.initTracer()
 	n.initHealthGauges()
+	n.updatePoolGauges() // publish mempool_capacity before any traffic
 	n.verifier = verify.New(cfg.VerifyWorkers, cfg.VerifyCacheSize)
 	n.verifier.SetObs(ob.Reg)
 	n.ov = overlay.New(net, n.addr, cfg.NetworkID, cfg.OverlayCacheSize)
@@ -343,6 +349,7 @@ func (n *Node) onTx(tx *ledger.Transaction) {
 		}
 		return
 	}
+	n.admitTimes[h] = n.net.Now()
 	n.noteEvicted(res.Evicted)
 	n.updatePoolGauges()
 }
@@ -353,6 +360,7 @@ func (n *Node) noteEvicted(victims []mempool.EvictedTx) {
 	for _, v := range victims {
 		n.ins.evicted.Inc()
 		n.traceEvictTx(v.Hash, "fee-pressure")
+		delete(n.admitTimes, v.Hash)
 	}
 }
 
@@ -360,6 +368,7 @@ func (n *Node) noteEvicted(victims []mempool.EvictedTx) {
 func (n *Node) updatePoolGauges() {
 	n.ins.pendingTxs.Set(float64(n.pool.Len()))
 	n.ins.poolSize.Set(float64(n.pool.Len()))
+	n.ins.poolCap.Set(float64(n.pool.Cap()))
 	if fee, ops, ok := n.pool.FloorRate(); ok && n.pool.Full() {
 		n.ins.poolFloor.Set(float64(fee) / float64(ops))
 	} else {
@@ -576,6 +585,18 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 		n.Metrics.MessagesEmitted.Add(st.emitted)
 		delete(n.slotStats, slot)
 	}
+	// End-to-end submit→applied latency for txs this node admitted itself
+	// (the SLO engine's p99 source; floods and local submits both stamp).
+	if len(n.admitTimes) > 0 {
+		nowV := n.net.Now()
+		for _, tx := range ts.Txs {
+			th := tx.Hash(n.cfg.NetworkID)
+			if at, ok := n.admitTimes[th]; ok {
+				n.ins.submitApplied.ObserveDuration(nowV - at)
+				delete(n.admitTimes, th)
+			}
+		}
+	}
 	n.traceTxsApplied(slot, applySpan, ts, applyDur)
 	n.trace(obs.Event{Slot: slot, Kind: obs.EvLedgerApplied,
 		Detail: fmt.Sprintf("txs=%d apply=%s", len(ts.Txs), applyDur)})
@@ -600,6 +621,7 @@ func (n *Node) applyLedger(slot uint64, sv *StellarValue, ts *ledger.TxSet) {
 		return acct == nil || tx.SeqNum <= acct.SeqNum
 	}) {
 		n.traceEvictTx(v.Hash, "stale")
+		delete(n.admitTimes, v.Hash)
 	}
 	n.lastLedgerTxs = len(ts.Txs)
 	n.updatePoolGauges()

@@ -27,11 +27,13 @@ type instruments struct {
 	txPerLedger   *obs.Histogram // herder_tx_per_ledger
 	ledgersClosed *obs.Counter   // herder_ledgers_closed_total
 	pendingTxs    *obs.Gauge     // herder_pending_txs
+	submitApplied *obs.Histogram // herder_submit_applied_seconds
 
 	// Admission pipeline (ROADMAP item 1; DESIGN.md §13).
 	admitted  *obs.CounterVec // mempool_admitted_total{outcome}
 	evicted   *obs.Counter    // mempool_evicted_total
 	poolSize  *obs.Gauge      // mempool_size
+	poolCap   *obs.Gauge      // mempool_capacity
 	poolFloor *obs.Gauge      // mempool_fee_floor
 }
 
@@ -61,12 +63,16 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"ledgers this node applied"),
 		pendingTxs: reg.Gauge("herder_pending_txs",
 			"transactions waiting in the pending pool"),
+		submitApplied: reg.Histogram("herder_submit_applied_seconds",
+			"local admission (submit or flood) to ledger apply, end to end (§7.3)", nil),
 		admitted: reg.CounterVec("mempool_admitted_total",
 			"admission decisions by outcome (flood_* = peer flood path)", "outcome"),
 		evicted: reg.Counter("mempool_evicted_total",
 			"pooled transactions displaced by fee-pressure eviction"),
 		poolSize: reg.Gauge("mempool_size",
 			"transactions in the bounded fee-priority pool"),
+		poolCap: reg.Gauge("mempool_capacity",
+			"configured mempool capacity (mempool_size/mempool_capacity is occupancy)"),
 		poolFloor: reg.Gauge("mempool_fee_floor",
 			"fee per operation of the cheapest pooled transaction while full (0 = not full)"),
 	}

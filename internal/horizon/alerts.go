@@ -1,0 +1,35 @@
+package horizon
+
+import (
+	"net/http"
+	"time"
+
+	"stellar/internal/obs/slo"
+)
+
+// SetAlerts attaches a node's SLO engine plus its telemetry clock; the
+// alert name and clock feed the GET /debug/alerts report. A server never
+// wired (or wired with a nil engine) serves an enabled=false report so
+// fleet scraping stays uniform — 200, never 404 — matching how
+// /debug/trace/export behaves with tracing off.
+func (s *Server) SetAlerts(e *slo.Engine, node string, clock func() time.Duration) {
+	s.alerts = e
+	s.alertsNode = node
+	s.alertsClock = clock
+}
+
+// handleAlerts serves the SLO engine's alert table. The engine is
+// internally synchronized and the report is a copy, so no server lock is
+// taken — the endpoint must answer even while the event loop is wedged,
+// which is exactly when operators curl it.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.alerts == nil {
+		writeJSON(w, http.StatusOK, slo.DisabledReport(s.alertsNode))
+		return
+	}
+	var now time.Duration
+	if s.alertsClock != nil {
+		now = s.alertsClock()
+	}
+	writeJSON(w, http.StatusOK, s.alerts.Report(s.alertsNode, now))
+}

@@ -13,11 +13,13 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"stellar/internal/herder"
 	"stellar/internal/history"
 	"stellar/internal/ledger"
 	"stellar/internal/obs"
+	"stellar/internal/obs/slo"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
 )
@@ -49,6 +51,12 @@ type Server struct {
 	httpReqs    *obs.CounterVec   // horizon_http_requests_total{route,code}
 	httpLat     *obs.HistogramVec // horizon_http_request_seconds{route}
 	ingressReqs *obs.CounterVec   // ingress_submissions_total{outcome}
+
+	// SLO alert surface (alerts.go). Nil until SetAlerts; the endpoint
+	// then serves a uniform enabled=false report.
+	alerts      *slo.Engine
+	alertsNode  string
+	alertsClock func() time.Duration
 }
 
 // New builds a Server for the node with its own lock. Callers whose node
@@ -76,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "GET /debug/slots/{seq}/trace", s.handleSlotTrace)
 	s.handle(mux, "GET /debug/trace/export", s.handleTraceExport)
 	s.handle(mux, "GET /debug/quorum", s.handleQuorum)
+	s.handle(mux, "GET /debug/alerts", s.handleAlerts)
 	s.handle(mux, "POST /transactions", s.handleSubmit)
 	s.registerHistory(mux)
 	if s.EnablePprof {

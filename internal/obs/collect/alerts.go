@@ -1,0 +1,129 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"stellar/internal/obs/slo"
+)
+
+// The fleet alert view: every node already judges its own telemetry
+// through the SLO engine (internal/obs/slo) and serves the verdict at
+// GET /debug/alerts; the collector's job is only to gather and render,
+// so a single `stellar-obs alerts` answers "is anything degraded?"
+// across the whole quorum.
+
+// FetchAlerts retrieves one node's /debug/alerts report.
+func (c *Client) FetchAlerts(t Target) (*slo.Report, error) {
+	resp, err := c.get(t.URL + "/debug/alerts")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != slo.ReportSchema {
+		return nil, fmt.Errorf("collect: %s/debug/alerts: schema %q, want %q",
+			t.URL, rep.Schema, slo.ReportSchema)
+	}
+	return &rep, nil
+}
+
+// AlertRow is one node's entry in the fleet alert sweep.
+type AlertRow struct {
+	Name   string
+	URL    string
+	Err    error
+	Report *slo.Report
+}
+
+// FetchAlertRows sweeps /debug/alerts across the targets. Per-node
+// failures land in the row rather than aborting — the alert view must
+// survive exactly the outages it exists to report.
+func FetchAlertRows(c *Client, targets []Target) []AlertRow {
+	rows := make([]AlertRow, len(targets))
+	for i, t := range targets {
+		rows[i] = AlertRow{Name: t.Name, URL: t.URL}
+		rep, err := c.FetchAlerts(t)
+		if err != nil {
+			rows[i].Err = err
+			continue
+		}
+		rows[i].Report = rep
+		if rows[i].Name == "" && rep.Node != "" {
+			rows[i].Name = rep.Node
+		}
+	}
+	return rows
+}
+
+// AlertsTable renders the sweep as a text table — one line per node plus
+// one indented line per non-inactive alert — and returns how many alerts
+// are firing fleet-wide. A DOWN node counts as firing: unreachable is the
+// degradation the sweep is for.
+func AlertsTable(rows []AlertRow) (string, int) {
+	var b strings.Builder
+	firing := 0
+	fmt.Fprintf(&b, "%-16s %-10s %s\n", "NODE", "STATUS", "ALERTS")
+	for _, r := range rows {
+		name := r.Name
+		if name == "" {
+			name = r.URL
+		}
+		switch {
+		case r.Err != nil:
+			firing++
+			fmt.Fprintf(&b, "%-16s %-10s %v\n", name, "DOWN", r.Err)
+			continue
+		case !r.Report.Enabled:
+			fmt.Fprintf(&b, "%-16s %-10s alerting disabled\n", name, "off")
+			continue
+		case r.Report.Firing > 0:
+			firing += r.Report.Firing
+			fmt.Fprintf(&b, "%-16s %-10s %d firing, %d pending\n",
+				name, "FIRING", r.Report.Firing, r.Report.Pending)
+		case r.Report.Pending > 0:
+			fmt.Fprintf(&b, "%-16s %-10s %d pending\n", name, "pending", r.Report.Pending)
+		default:
+			fmt.Fprintf(&b, "%-16s %-10s ok\n", name, "ok")
+		}
+		for _, a := range r.Report.Alerts {
+			if a.State == slo.StateInactive.String() && a.Fired == 0 {
+				continue
+			}
+			detail := a.Detail
+			if detail != "" {
+				detail = " — " + detail
+			}
+			fmt.Fprintf(&b, "  %-14s %-10s %-8s fired=%d%s\n",
+				a.Name, a.State, a.Severity, a.Fired, detail)
+		}
+	}
+	return b.String(), firing
+}
+
+// FiringAlerts lists the distinct alert names firing anywhere in the
+// sweep, sorted.
+func FiringAlerts(rows []AlertRow) []string {
+	set := make(map[string]bool)
+	for _, r := range rows {
+		if r.Report == nil {
+			continue
+		}
+		for _, a := range r.Report.Alerts {
+			if a.State == slo.StateFiring.String() {
+				set[a.Name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

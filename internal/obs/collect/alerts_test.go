@@ -1,0 +1,133 @@
+package collect
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stellar/internal/obs/slo"
+)
+
+// alertsServer serves a canned /debug/alerts document.
+func alertsServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/alerts" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const firingReport = `{
+  "schema": "stellar-alerts/v1", "node": "node-0", "enabled": true,
+  "now_ns": 12000000000, "firing": 1, "pending": 1,
+  "alerts": [
+    {"name": "close_stall", "severity": "critical", "state": "firing",
+     "since_ns": 9000000000, "value": 21, "threshold": 20,
+     "detail": "no ledger closed in 21s", "fired_count": 1},
+    {"name": "mempool_saturated", "severity": "warning", "state": "pending",
+     "since_ns": 11000000000, "value": 0.95, "threshold": 0.9, "fired_count": 0},
+    {"name": "peer_loss", "severity": "warning", "state": "inactive",
+     "since_ns": 0, "fired_count": 0}
+  ]
+}`
+
+const healthyReport = `{
+  "schema": "stellar-alerts/v1", "node": "node-1", "enabled": true,
+  "now_ns": 12000000000, "firing": 0, "pending": 0,
+  "alerts": [
+    {"name": "close_stall", "severity": "critical", "state": "inactive",
+     "since_ns": 0, "fired_count": 0}
+  ]
+}`
+
+func TestFetchAlerts(t *testing.T) {
+	srv := alertsServer(t, firingReport)
+	c := NewClient(time.Second)
+	rep, err := c.FetchAlerts(Target{URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.Firing != 1 || rep.Node != "node-0" {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Alerts) != 3 || rep.Alerts[0].Name != "close_stall" {
+		t.Fatalf("alerts %+v", rep.Alerts)
+	}
+}
+
+func TestFetchAlertsBadSchema(t *testing.T) {
+	srv := alertsServer(t, `{"schema": "bogus/v9", "enabled": true, "alerts": []}`)
+	c := NewClient(time.Second)
+	if _, err := c.FetchAlerts(Target{URL: srv.URL}); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+}
+
+func TestAlertsTableAndFiring(t *testing.T) {
+	bad := alertsServer(t, firingReport)
+	good := alertsServer(t, healthyReport)
+	off := alertsServer(t, `{"schema": "stellar-alerts/v1", "node": "node-2", "enabled": false, "alerts": []}`)
+	c := NewClient(time.Second)
+	targets := []Target{
+		{Name: "node-0", URL: bad.URL},
+		{URL: good.URL}, // name comes from the report
+		{Name: "node-2", URL: off.URL},
+		{Name: "node-3", URL: "http://127.0.0.1:1"}, // unreachable
+	}
+	rows := FetchAlertRows(c, targets)
+	if rows[1].Name != "node-1" {
+		t.Errorf("row 1 did not take the report's node name: %+v", rows[1])
+	}
+
+	table, firing := AlertsTable(rows)
+	// 1 firing on node-0 plus the DOWN node counted as a degradation.
+	if firing != 2 {
+		t.Fatalf("firing = %d, want 2\n%s", firing, table)
+	}
+	for _, want := range []string{
+		"FIRING", "close_stall", "no ledger closed in 21s",
+		"mempool_saturated", // pending rows are listed
+		"alerting disabled", "DOWN",
+		"node-1           ok",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if strings.Contains(table, "peer_loss") {
+		t.Errorf("inactive never-fired alert listed:\n%s", table)
+	}
+
+	if names := FiringAlerts(rows); len(names) != 1 || names[0] != "close_stall" {
+		t.Errorf("FiringAlerts = %v", names)
+	}
+}
+
+func TestAlertsSummaryCell(t *testing.T) {
+	if s := alertsSummary(nil); s != "?" {
+		t.Errorf("nil report cell = %q", s)
+	}
+	if s := alertsSummary(slo.DisabledReport("n")); s != "off" {
+		t.Errorf("disabled cell = %q", s)
+	}
+	if s := alertsSummary(&slo.Report{Enabled: true}); s != "ok" {
+		t.Errorf("healthy cell = %q", s)
+	}
+	rep := &slo.Report{Enabled: true, Firing: 2, Alerts: []slo.Alert{
+		{Name: "close_stall", State: "firing"},
+		{Name: "peer_loss", State: "inactive"},
+		{Name: "quorum_unavailable", State: "firing"},
+	}}
+	if s := alertsSummary(rep); s != "close_stall,quorum_unavailable" {
+		t.Errorf("firing cell = %q", s)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"stellar/internal/obs"
+	"stellar/internal/obs/slo"
 )
 
 // Target is one node's scrape endpoint.
@@ -108,6 +109,7 @@ type Scrape struct {
 	Metrics Metrics
 	Quorum  json.RawMessage
 	Ledger  *LedgerInfo
+	Alerts  *slo.Report
 
 	// OffsetNanos estimates the node's wall clock minus the collector's,
 	// from the trace-export exchange: the server stamps NowUnixNanos while
@@ -237,6 +239,7 @@ func (c *Client) ScrapeAll(targets []Target) []*Scrape {
 			continue
 		}
 		s.Quorum, _ = c.FetchQuorum(t) // optional; table shows "?" when absent
+		s.Alerts, _ = c.FetchAlerts(t) // optional; table shows "?" when absent
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"stellar/internal/obs/slo"
 )
 
 // The live fleet table: one row per node, derived from a scrape pass.
@@ -31,6 +33,29 @@ type NodeStatus struct {
 	SpansRecorded float64 `json:"trace_spans_recorded"`
 	SpansDropped  float64 `json:"trace_spans_dropped"`
 	OffsetMillis  float64 `json:"clock_offset_ms"`
+	// Alerts summarizes the node's own SLO verdict: "?" when the node
+	// serves no /debug/alerts, "off" when alerting is disabled, "ok" when
+	// nothing fires, else the firing alert names.
+	Alerts string `json:"alerts"`
+}
+
+// alertsSummary compresses a node's alert report into one table cell.
+func alertsSummary(rep *slo.Report) string {
+	switch {
+	case rep == nil:
+		return "?"
+	case !rep.Enabled:
+		return "off"
+	case rep.Firing == 0:
+		return "ok"
+	}
+	var names []string
+	for _, a := range rep.Alerts {
+		if a.State == slo.StateFiring.String() {
+			names = append(names, a.Name)
+		}
+	}
+	return strings.Join(names, ",")
 }
 
 // Status derives one node's row from its scrape; prev (same node, earlier
@@ -50,6 +75,7 @@ func Status(s *Scrape, prev *Scrape) NodeStatus {
 	st.SpansRecorded = m.Sum("trace_spans_recorded")
 	st.SpansDropped = m.Sum("trace_spans_dropped")
 	st.OffsetMillis = float64(s.OffsetNanos) / 1e6
+	st.Alerts = alertsSummary(s.Alerts)
 	if s.Ledger != nil {
 		st.LedgerSeq = s.Ledger.Sequence
 		// The node's close time is on its own clock; compare in that frame.
@@ -68,8 +94,8 @@ func Status(s *Scrape, prev *Scrape) NodeStatus {
 // FleetTable renders the rows as a fixed-width text table.
 func FleetTable(rows []NodeStatus) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %7s %9s %8s %7s %6s %6s %7s %9s %9s\n",
-		"NODE", "LEDGER", "CLOSELAG", "TX/S", "APPLIED", "PEND", "PEERS", "QUORUM", "SPANS", "OFFSET")
+	fmt.Fprintf(&b, "%-12s %7s %9s %8s %7s %6s %6s %7s %9s %9s %s\n",
+		"NODE", "LEDGER", "CLOSELAG", "TX/S", "APPLIED", "PEND", "PEERS", "QUORUM", "SPANS", "OFFSET", "ALERTS")
 	for _, r := range rows {
 		if r.Err != "" {
 			fmt.Fprintf(&b, "%-12s DOWN: %s\n", r.Name, r.Err)
@@ -87,9 +113,9 @@ func FleetTable(rows []NodeStatus) string {
 		if r.SpansDropped > 0 {
 			spans += fmt.Sprintf("(-%.0f)", r.SpansDropped)
 		}
-		fmt.Fprintf(&b, "%-12s %7d %8.1fs %8s %7.0f %6.0f %6.0f %7s %9s %8.1fms\n",
+		fmt.Fprintf(&b, "%-12s %7d %8.1fs %8s %7.0f %6.0f %6.0f %7s %9s %8.1fms %s\n",
 			r.Name, r.LedgerSeq, r.CloseLagSeconds, txps, r.TxApplied,
-			r.PendingTxs, r.Peers, quorum, spans, r.OffsetMillis)
+			r.PendingTxs, r.Peers, quorum, spans, r.OffsetMillis, r.Alerts)
 	}
 	return b.String()
 }

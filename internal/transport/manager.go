@@ -47,6 +47,18 @@ type Config struct {
 	OnPeerDown func(simnet.Addr)
 }
 
+// maxPeerLabels caps how many distinct peer identities the per-peer
+// counter vectors will label. Every authenticated remote mints five
+// counter children, and peer identities are attacker-chosen (any keypair
+// that completes the handshake), so unbounded labels would let a
+// connection churn adversary grow the registry — and every /metrics
+// scrape — without limit. A real quorum is tens of validators; beyond
+// the cap, traffic is still counted but attributed to the "other" label.
+const maxPeerLabels = 64
+
+// peerOverflowLabel aggregates peers beyond the cardinality cap.
+const peerOverflowLabel = "other"
+
 // instruments are the transport's obs counters and gauges. Traffic
 // counters are labeled by remote NodeID so a fleet view can tell which
 // link is slow, shedding, or flapping; connection-establishment failures
@@ -57,12 +69,16 @@ type instruments struct {
 	handshakeFailures *obs.Counter
 	dialFailures      *obs.Counter
 	decodeErrors      *obs.Counter
+	labelOverflows    *obs.Counter
 	reconnects        *obs.CounterVec // {peer}
 	framesIn          *obs.CounterVec // {peer}
 	framesOut         *obs.CounterVec // {peer}
 	bytesIn           *obs.CounterVec // {peer}
 	bytesOut          *obs.CounterVec // {peer}
 	queueSheds        *obs.CounterVec // {peer}
+
+	labelMu    sync.Mutex
+	peerLabels map[string]bool
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -77,7 +93,27 @@ func newInstruments(reg *obs.Registry) *instruments {
 		bytesIn:           reg.CounterVec("transport_bytes_in_total", "Payload bytes received from authenticated peers.", "peer"),
 		bytesOut:          reg.CounterVec("transport_bytes_out_total", "Wire bytes written to authenticated peers.", "peer"),
 		queueSheds:        reg.CounterVec("transport_queue_sheds_total", "Outbound frames shed because a peer's send queue was full.", "peer"),
+		labelOverflows:    reg.Counter("transport_peer_label_overflow_total", "Peer-labeled observations attributed to the \"other\" label because the distinct-peer cap was reached."),
+		peerLabels:        make(map[string]bool),
 	}
+}
+
+// peerLabel maps a peer identity to its metric label, admitting at most
+// maxPeerLabels distinct values; later identities collapse into
+// peerOverflowLabel so hostile connection churn cannot grow the registry.
+func (ins *instruments) peerLabel(id simnet.Addr) string {
+	s := string(id)
+	ins.labelMu.Lock()
+	defer ins.labelMu.Unlock()
+	if ins.peerLabels[s] {
+		return s
+	}
+	if len(ins.peerLabels) < maxPeerLabels {
+		ins.peerLabels[s] = true
+		return s
+	}
+	ins.labelOverflows.Inc()
+	return peerOverflowLabel
 }
 
 // peerInstruments are one remote's resolved counter children, looked up
@@ -87,7 +123,7 @@ type peerInstruments struct {
 }
 
 func (ins *instruments) forPeer(id simnet.Addr) *peerInstruments {
-	peer := string(id)
+	peer := ins.peerLabel(id)
 	return &peerInstruments{
 		framesIn:   ins.framesIn.With(peer),
 		framesOut:  ins.framesOut.With(peer),
@@ -336,7 +372,7 @@ func (m *Manager) runConn(conn net.Conn, dialed, reconnect bool) bool {
 		return false
 	}
 	if reconnect {
-		m.ins.reconnects.With(string(id)).Inc()
+		m.ins.reconnects.With(m.ins.peerLabel(id)).Inc()
 	}
 	p := newPeer(id, conn, dialed, m.cfg.QueueSize)
 	p.ins = m.ins.forPeer(id)
