@@ -18,6 +18,10 @@ TRACE_OUT ?= trace-smoke.json
 # NODE_SMOKE_DIR is where node-smoke writes the per-node logs CI uploads.
 NODE_SMOKE_DIR ?= node-smoke-logs
 
+# CATCHUP_SMOKE_DIR is where catchup-smoke writes logs and the fetched
+# archive CI uploads.
+CATCHUP_SMOKE_DIR ?= catchup-smoke-logs
+
 # OBS_SMOKE_DIR is where bench-cluster writes the per-node logs CI uploads.
 OBS_SMOKE_DIR ?= obs-smoke-logs
 
@@ -30,7 +34,7 @@ ALERTS_SMOKE_DIR ?= alerts-smoke-logs
 # STATICCHECK is the staticcheck binary `make check` uses when present.
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test race vet fmt staticcheck check bench bench-smoke trace-smoke fuzz chaos soak node-smoke bench-cluster ingress-smoke alerts-smoke
+.PHONY: all build test race vet fmt staticcheck check bench bench-smoke trace-smoke fuzz chaos soak node-smoke catchup-smoke bench-cluster ingress-smoke alerts-smoke
 
 all: check
 
@@ -109,6 +113,13 @@ bench-cluster:
 # logs land in $(NODE_SMOKE_DIR) for CI artifact upload.
 node-smoke:
 	NODE_SMOKE_DIR=$(NODE_SMOKE_DIR) ./scripts/node-smoke.sh
+
+# catchup-smoke boots a 3-process archiving TCP quorum to ledger 30, then
+# cold-starts a 4th node with an empty -data-dir and -catchup: it must
+# fetch the archive over the wire, replay to the tip, join the quorum,
+# and close 5 more byte-identical ledgers (DESIGN.md Â§16).
+catchup-smoke:
+	CATCHUP_SMOKE_DIR=$(CATCHUP_SMOKE_DIR) ./scripts/catchup-smoke.sh
 
 # ingress-smoke boots a 3-process TCP quorum with a tiny mempool, ramps
 # offered load with the ceiling probe until the ingress answers 429, and

@@ -17,13 +17,14 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 
 	"stellar/internal/chaos"
 	"stellar/internal/obs"
 )
 
 func main() {
-	scenario := flag.String("scenario", "", "named scenario to run: partition-heal (default: randomized)")
+	scenario := flag.String("scenario", "", "named scenario to run: partition-heal, kill-wipe-rejoin, kill-restore-rejoin (default: randomized)")
 	seed := flag.Int64("seed", 0, "seed for a single scenario (0: run -scenarios random seeds)")
 	scenarios := flag.Int("scenarios", 10, "number of random scenarios when no -seed is given")
 	firstSeed := flag.Int64("first-seed", 1, "first seed of the random sweep")
@@ -42,10 +43,18 @@ func main() {
 		switch *scenario {
 		case "partition-heal":
 			sc = chaos.PartitionHealScenario(s)
+		case "kill-wipe-rejoin", "kill-restore-rejoin":
+			base, err := os.MkdirTemp("", "stellar-chaos-archives-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			sc = chaos.KillWipeRejoinScenario(s, *scenario == "kill-wipe-rejoin",
+				func(i int) string { return filepath.Join(base, fmt.Sprintf("node-%d", i)) })
 		case "":
 			sc = chaos.Generate(s)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown scenario %q (have: partition-heal)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (have: partition-heal, kill-wipe-rejoin, kill-restore-rejoin)\n", *scenario)
 			os.Exit(2)
 			panic("unreachable")
 		}

@@ -30,6 +30,7 @@ import (
 	"stellar/internal/cliutil"
 	"stellar/internal/fba"
 	"stellar/internal/herder"
+	"stellar/internal/history"
 	"stellar/internal/horizon"
 	"stellar/internal/ledger"
 	"stellar/internal/obs"
@@ -56,10 +57,12 @@ func main() {
 	ingress.Register(flag.CommandLine)
 	var alerts cliutil.AlertFlags
 	alerts.Register(flag.CommandLine)
+	var dur cliutil.DurabilityFlags
+	dur.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(*listen, *peersFlag, *seed, *quorumFlag, *horizonAddr, *metricsAddr,
-		*network, *interval, *drift, *queueSize, *verbose, &common, &ingress, &alerts); err != nil {
+		*network, *interval, *drift, *queueSize, *verbose, &common, &ingress, &alerts, &dur); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,7 +70,8 @@ func main() {
 
 func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network string,
 	interval, drift time.Duration, queueSize int, verbose bool,
-	common *cliutil.CommonFlags, ingress *cliutil.IngressFlags, alerts *cliutil.AlertFlags) error {
+	common *cliutil.CommonFlags, ingress *cliutil.IngressFlags, alerts *cliutil.AlertFlags,
+	dur *cliutil.DurabilityFlags) error {
 
 	labels := strings.Split(quorumFlag, ",")
 	ids := make([]fba.NodeID, 0, len(labels))
@@ -117,6 +121,11 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		return err
 	}
 
+	arch, err := dur.Open()
+	if err != nil {
+		return err
+	}
+
 	loop := transport.NewLoop()
 	node, err := herder.New(loop, herder.Config{
 		Keys:                keys,
@@ -130,6 +139,9 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		ApplyCheck:          common.ApplyCheck,
 		MempoolMaxTxs:       ingress.MempoolMax,
 		MempoolMaxPerSource: ingress.MempoolPerSource,
+		Archive:             arch,
+		CheckpointInterval:  dur.CheckpointInterval,
+		BucketSpillLevel:    dur.SpillLevel,
 		Obs:                 ob,
 	})
 	if err != nil {
@@ -146,6 +158,45 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 			}
 		}
 	}
+	// Boot policy (DESIGN.md §16): a data dir holding a checkpoint restores
+	// and replays to its archived tip before the overlay opens; an empty
+	// data dir with -catchup fetches a peer's archive over the wire once the
+	// first peer is up; otherwise every process derives the shared genesis.
+	var startCatchup func()
+	switch {
+	case arch != nil && hasCheckpoint(arch):
+		var replayed int
+		var rerr error
+		loop.Run(func() {
+			if replayed, rerr = node.RestoreFromArchive(arch); rerr == nil {
+				node.Start()
+			}
+		})
+		if rerr != nil {
+			return fmt.Errorf("restoring from %s: %w", dur.DataDir, rerr)
+		}
+		fmt.Printf("restored from %s at ledger %d (%d replayed past the checkpoint)\n",
+			dur.DataDir, node.LastHeader().LedgerSeq, replayed)
+	case dur.Catchup:
+		if len(peers) == 0 {
+			return errors.New("-catchup needs at least one -peers address")
+		}
+		// Deferred to the first OnPeerUp loop event: discovery needs a
+		// live peer. OnPeerUp events are serialized on the loop, so the
+		// one-shot reset below is race-free.
+		startCatchup = func() {
+			if err := node.StartNetworkCatchup(nil); err != nil {
+				fmt.Fprintf(os.Stderr, "catchup: %v\n", err)
+			}
+		}
+		fmt.Printf("empty archive at %s; waiting for a peer to catch up from\n", dur.DataDir)
+	default:
+		loop.Run(func() {
+			node.Bootstrap(genesis, 0)
+			node.Start()
+		})
+	}
+
 	mgr, err := transport.NewManager(loop, transport.Config{
 		ListenAddr: listen,
 		Peers:      peers,
@@ -156,6 +207,10 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		OnPeerUp: func(p simnet.Addr) {
 			node.Overlay().AddPeer(p)
 			node.RebroadcastLatest()
+			if startCatchup != nil {
+				startCatchup()
+				startCatchup = nil
+			}
 		},
 		OnPeerDown: func(p simnet.Addr) {
 			node.Overlay().RemovePeer(p)
@@ -164,11 +219,6 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 	if err != nil {
 		return err
 	}
-
-	loop.Run(func() {
-		node.Bootstrap(genesis, 0)
-		node.Start()
-	})
 
 	// Horizon (full API) and the metrics endpoint serve the same handler:
 	// the metrics address is the lightweight alternative when no client
@@ -200,6 +250,11 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if arch != nil {
+		fmt.Printf("archiving to %s (checkpoint every %d ledger(s), bucket spill level %d)\n",
+			dur.DataDir, max(dur.CheckpointInterval, 1), dur.SpillLevel)
+	}
 
 	// SIGQUIT dumps a crash bundle without killing the process — the
 	// operator's on-demand post-mortem switch.
@@ -271,4 +326,10 @@ func run(listen, peersFlag, seed, quorumFlag, horizonAddr, metricsAddr, network 
 		}
 	}
 	return nil
+}
+
+// hasCheckpoint reports whether the archive holds a restorable checkpoint.
+func hasCheckpoint(a *history.Archive) bool {
+	_, err := a.LatestCheckpointSeq()
+	return err == nil
 }

@@ -12,6 +12,7 @@ package bucket
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"stellar/internal/ledger"
@@ -48,13 +49,7 @@ func EmptyBucket() *Bucket { return emptyBucket }
 func (b *Bucket) rehash() {
 	e := xdr.NewEncoder(64 * len(b.entries))
 	for _, entry := range b.entries {
-		e.PutString(entry.Key)
-		if entry.Data == nil {
-			e.PutBool(false)
-		} else {
-			e.PutBool(true)
-			e.PutBytes(entry.Data)
-		}
+		AppendEntryEncoding(e, entry)
 	}
 	b.hash = stellarcrypto.HashBytes(e.Bytes())
 }
@@ -122,11 +117,24 @@ func Merge(newer, older *Bucket, keepTombstones bool) *Bucket {
 // history compression, ample for simulation scales.
 const NumLevels = 9
 
+// slot is one bucket position of a level. A resident slot holds the
+// decoded bucket in mem; a spilled slot holds only the content hash and
+// entry count, with the bytes living in the attached Store. Hash and
+// count are always valid, so the list hash and spill scheduling never
+// need the store.
+type slot struct {
+	mem  *Bucket
+	hash stellarcrypto.Hash
+	n    int
+}
+
+func memSlot(b *Bucket) slot { return slot{mem: b, hash: b.Hash(), n: b.Len()} }
+
 // level holds the two buckets of one level: curr accumulates recent spills
 // and snap awaits the next spill to the level below.
 type level struct {
-	curr *Bucket
-	snap *Bucket
+	curr slot
+	snap slot
 }
 
 // List is the bucket list: one level pair per exponential age band, plus
@@ -135,6 +143,13 @@ type level struct {
 type List struct {
 	levels [NumLevels]level
 	hash   stellarcrypto.Hash
+
+	// store and spillLevel select disk-backed operation (SetStore): slots
+	// at levels ≥ spillLevel live in the store as content-addressed files
+	// and merges into them stream, so deep levels never materialize in
+	// memory. Hashes are byte-identical to the all-resident path.
+	store      Store
+	spillLevel int
 
 	// pool, when set, runs a close's independent spill merges (and their
 	// SHA-256 rehashes) concurrently. The resulting buckets and list hash
@@ -146,10 +161,80 @@ type List struct {
 func NewList() *List {
 	l := &List{}
 	for i := range l.levels {
-		l.levels[i] = level{curr: emptyBucket, snap: emptyBucket}
+		l.levels[i] = level{curr: memSlot(emptyBucket), snap: memSlot(emptyBucket)}
 	}
 	l.rehash()
 	return l
+}
+
+// DefaultSpillLevel is where disk residency starts when SetStore is not
+// told otherwise: levels 0–1 (the per-ledger working set) stay in memory,
+// everything deeper lives in the store.
+const DefaultSpillLevel = 2
+
+// SetStore attaches a bucket store and migrates every non-empty bucket at
+// levels ≥ spillLevel into it, freeing their memory. spillLevel ≤ 0
+// selects DefaultSpillLevel; level 0 can never spill (its ingest merge is
+// the hot path). The list hash is unchanged: residency is invisible to
+// hashing.
+func (l *List) SetStore(s Store, spillLevel int) error {
+	if spillLevel <= 0 {
+		spillLevel = DefaultSpillLevel
+	}
+	if spillLevel < 1 || spillLevel > NumLevels {
+		return fmt.Errorf("bucket: spill level %d out of range [1,%d]", spillLevel, NumLevels)
+	}
+	l.store = s
+	l.spillLevel = spillLevel
+	for i := spillLevel; i < NumLevels; i++ {
+		for _, sl := range []*slot{&l.levels[i].curr, &l.levels[i].snap} {
+			if sl.mem == nil || sl.mem.Empty() {
+				continue
+			}
+			if err := s.Put(sl.mem); err != nil {
+				return fmt.Errorf("bucket: spill level %d: %w", i, err)
+			}
+			sl.mem = nil
+		}
+	}
+	return nil
+}
+
+// Store returns the attached bucket store (nil when fully in-memory).
+func (l *List) Store() Store { return l.store }
+
+// spilled reports whether a slot installed at the given level should live
+// in the store rather than in memory.
+func (l *List) spilledLevel(i int) bool {
+	return l.store != nil && i >= l.spillLevel
+}
+
+// slotReader streams one slot's entries wherever they live.
+func (l *List) slotReader(s slot) (EntryReader, error) {
+	if s.mem != nil {
+		return NewSliceReader(s.mem.Entries()), nil
+	}
+	return l.store.Reader(s.hash)
+}
+
+// slotBucket materializes one slot's bucket.
+func (l *List) slotBucket(s slot) (*Bucket, error) {
+	if s.mem != nil {
+		return s.mem, nil
+	}
+	return l.store.Load(s.hash)
+}
+
+// mustBucket is slotBucket for the internal paths with no error channel
+// (Get, AllLive). A store read failing means the node's own durable state
+// is unreadable — there is no useful way to continue, so it panics, like
+// an I/O error inside a database engine's page read.
+func (l *List) mustBucket(s slot) *Bucket {
+	b, err := l.slotBucket(s)
+	if err != nil {
+		panic(fmt.Sprintf("bucket: reading spilled bucket %s: %v", s.hash.Hex(), err))
+	}
+	return b
 }
 
 // half returns the spill period of a level in ledgers.
@@ -186,9 +271,9 @@ func (l *List) AddBatch(ledgerSeq uint32, changed []Entry) {
 		spills[i] = ledgerSeq%half(i) == 0
 	}
 
-	merged := make([]*Bucket, NumLevels) // merged[i]: result of level i's spill
-	var ingested *Bucket                 // level-0 ingest of the changed entries
-	var jobs []func()
+	merged := make([]slot, NumLevels) // merged[i]: result of level i's spill
+	var ingested slot                 // level-0 ingest of the changed entries
+	var jobs []func() error
 	for i := NumLevels - 2; i >= 0; i-- {
 		if !spills[i] {
 			continue
@@ -197,23 +282,53 @@ func (l *List) AddBatch(ledgerSeq uint32, changed []Entry) {
 		newer := l.levels[i].snap
 		older := l.levels[i+1].curr
 		if spills[i+1] {
-			older = emptyBucket
+			older = memSlot(emptyBucket)
 		}
 		keepTombstones := i+1 < NumLevels-1
-		jobs = append(jobs, func() { merged[i] = Merge(newer, older, keepTombstones) })
+		if l.spilledLevel(i + 1) {
+			// Deep-level merge: stream both inputs through the store's
+			// writer so the output never materializes in memory. The
+			// incremental hash over the canonical entry encodings equals
+			// the in-memory Merge+rehash result by construction.
+			jobs = append(jobs, func() error {
+				s, err := l.mergeToStore(newer, older, keepTombstones)
+				if err != nil {
+					return fmt.Errorf("level %d spill: %w", i, err)
+				}
+				merged[i] = s
+				return nil
+			})
+			continue
+		}
+		jobs = append(jobs, func() error {
+			merged[i] = memSlot(Merge(newer.mem, older.mem, keepTombstones))
+			return nil
+		})
 	}
 	{
 		older := l.levels[0].curr
 		if spills[0] {
-			older = emptyBucket
+			older = memSlot(emptyBucket)
 		}
-		jobs = append(jobs, func() { ingested = Merge(NewBucket(changed), older, true) })
+		jobs = append(jobs, func() error {
+			ingested = memSlot(Merge(NewBucket(changed), older.mem, true))
+			return nil
+		})
 	}
+	errs := make([]error, len(jobs))
 	if l.pool != nil && l.pool.Workers() > 1 && len(jobs) > 1 {
-		l.pool.Run(len(jobs), func(i int) { jobs[i]() })
+		l.pool.Run(len(jobs), func(i int) { errs[i] = jobs[i]() })
 	} else {
-		for _, job := range jobs {
-			job()
+		for i, job := range jobs {
+			errs[i] = job()
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			// The bucket list is consensus state: failing to persist a
+			// spill means this node can no longer compute the snapshot
+			// hash it is about to vote on. Nothing to do but stop.
+			panic(fmt.Sprintf("bucket: AddBatch ledger %d: %v", ledgerSeq, err))
 		}
 	}
 
@@ -224,20 +339,48 @@ func (l *List) AddBatch(ledgerSeq uint32, changed []Entry) {
 		}
 		l.levels[i+1].curr = merged[i]
 		l.levels[i].snap = l.levels[i].curr
-		l.levels[i].curr = emptyBucket
+		l.levels[i].curr = memSlot(emptyBucket)
 	}
 	l.levels[0].curr = ingested
 	l.rehash()
+}
+
+// mergeToStore streams a spill merge into the store, returning the
+// resulting slot. Empty results stay resident as the canonical empty
+// bucket (whose hash a zero-entry stream also produces) so no file is
+// written for them.
+func (l *List) mergeToStore(newer, older slot, keepTombstones bool) (slot, error) {
+	nr, err := l.slotReader(newer)
+	if err != nil {
+		return slot{}, err
+	}
+	defer nr.Close()
+	or, err := l.slotReader(older)
+	if err != nil {
+		return slot{}, err
+	}
+	defer or.Close()
+	w := l.store.Writer()
+	if err := MergeStreams(nr, or, keepTombstones, w); err != nil {
+		w.Abort()
+		return slot{}, err
+	}
+	h, n, err := w.Commit()
+	if err != nil {
+		return slot{}, err
+	}
+	if n == 0 {
+		return memSlot(emptyBucket), nil
+	}
+	return slot{hash: h, n: n}, nil
 }
 
 // rehash recomputes the cumulative list hash from the per-bucket hashes.
 func (l *List) rehash() {
 	e := xdr.NewEncoder(NumLevels * 64)
 	for i := range l.levels {
-		h := l.levels[i].curr.Hash()
-		e.PutFixed(h[:])
-		h = l.levels[i].snap.Hash()
-		e.PutFixed(h[:])
+		e.PutFixed(l.levels[i].curr.hash[:])
+		e.PutFixed(l.levels[i].snap.hash[:])
 	}
 	l.hash = stellarcrypto.HashBytes(e.Bytes())
 }
@@ -250,32 +393,41 @@ func (l *List) Hash() stellarcrypto.Hash { return l.hash }
 func (l *List) BucketHashes() []stellarcrypto.Hash {
 	out := make([]stellarcrypto.Hash, 0, 2*NumLevels)
 	for i := range l.levels {
-		out = append(out, l.levels[i].curr.Hash(), l.levels[i].snap.Hash())
+		out = append(out, l.levels[i].curr.hash, l.levels[i].snap.hash)
 	}
 	return out
 }
 
-// Bucket returns the bucket at (level, snap?) for archival.
+// Bucket returns the bucket at (level, snap?) for archival, loading it
+// from the store when the level is spilled.
 func (l *List) Bucket(levelIdx int, snap bool) (*Bucket, error) {
 	if levelIdx < 0 || levelIdx >= NumLevels {
 		return nil, fmt.Errorf("bucket: level %d out of range", levelIdx)
 	}
 	if snap {
-		return l.levels[levelIdx].snap, nil
+		return l.slotBucket(l.levels[levelIdx].snap)
 	}
-	return l.levels[levelIdx].curr, nil
+	return l.slotBucket(l.levels[levelIdx].curr)
 }
 
 // SetBucket installs a bucket (used by reconciliation after downloading a
-// differing bucket from a peer or archive).
+// differing bucket from a peer or archive). On a disk-backed list the
+// bucket is persisted and dropped from memory when its level is spilled.
 func (l *List) SetBucket(levelIdx int, snap bool, b *Bucket) error {
 	if levelIdx < 0 || levelIdx >= NumLevels {
 		return fmt.Errorf("bucket: level %d out of range", levelIdx)
 	}
+	s := memSlot(b)
+	if l.spilledLevel(levelIdx) && !b.Empty() {
+		if err := l.store.Put(b); err != nil {
+			return err
+		}
+		s.mem = nil
+	}
 	if snap {
-		l.levels[levelIdx].snap = b
+		l.levels[levelIdx].snap = s
 	} else {
-		l.levels[levelIdx].curr = b
+		l.levels[levelIdx].curr = s
 	}
 	l.rehash()
 	return nil
@@ -283,12 +435,14 @@ func (l *List) SetBucket(levelIdx int, snap bool, b *Bucket) error {
 
 // Get returns the newest version of a key across all levels, reporting
 // whether it is live ((entry,true)), deleted, or absent ((_, false)).
+// Spilled buckets are loaded through the store's cache; Get stays off the
+// transaction hot path (reconciliation and tests only).
 func (l *List) Get(key string) (Entry, bool) {
 	for i := range l.levels {
-		if e, ok := l.levels[i].curr.Get(key); ok {
+		if e, ok := l.mustBucket(l.levels[i].curr).Get(key); ok {
 			return e, e.Data != nil
 		}
-		if e, ok := l.levels[i].snap.Get(key); ok {
+		if e, ok := l.mustBucket(l.levels[i].snap).Get(key); ok {
 			return e, e.Data != nil
 		}
 	}
@@ -296,12 +450,26 @@ func (l *List) Get(key string) (Entry, bool) {
 }
 
 // AllLive returns every live entry, newest version winning, sorted by key.
-// Used to restore full ledger state from an archived bucket list.
+// Used to restore full ledger state from an archived bucket list. Spilled
+// buckets are streamed, so peak memory is the live set plus one bucket's
+// read buffer — not the sum of all levels.
 func (l *List) AllLive() []Entry {
 	seen := make(map[string]struct{})
 	var out []Entry
-	scan := func(b *Bucket) {
-		for _, e := range b.Entries() {
+	scan := func(s slot) {
+		r, err := l.slotReader(s)
+		if err != nil {
+			panic(fmt.Sprintf("bucket: reading spilled bucket %s: %v", s.hash.Hex(), err))
+		}
+		defer r.Close()
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				panic(fmt.Sprintf("bucket: reading spilled bucket %s: %v", s.hash.Hex(), err))
+			}
 			if _, dup := seen[e.Key]; dup {
 				continue
 			}
@@ -324,7 +492,7 @@ func (l *List) AllLive() []Entry {
 func (l *List) TotalEntries() int {
 	n := 0
 	for i := range l.levels {
-		n += l.levels[i].curr.Len() + l.levels[i].snap.Len()
+		n += l.levels[i].curr.n + l.levels[i].snap.n
 	}
 	return n
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package disk_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package disk_test
+
+// raceEnabled shrinks the large-ledger memory test under the race
+// detector, whose shadow memory would otherwise dominate both the runtime
+// and the heap measurement.
+const raceEnabled = true

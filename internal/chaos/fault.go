@@ -50,6 +50,15 @@ const (
 	FaultLatencySpike
 	// FaultLatencyRestore reinstates the scenario's base latency model.
 	FaultLatencyRestore
+	// FaultKillWipe crashes Node AND destroys its archive directory — the
+	// total-loss fault (dead disk). The node stays down until FaultRejoin.
+	// Requires the scenario to give Node an archive (ArchiveDirFor).
+	FaultKillWipe
+	// FaultRejoin replaces Node with a freshly built process holding the
+	// same identity but none of the old in-memory state. An archive that
+	// still holds a checkpoint restores from disk and replays; an empty
+	// (wiped) archive cold-starts over the network via catchup.
+	FaultRejoin
 )
 
 // String names the kind for logs and metric labels.
@@ -71,6 +80,10 @@ func (k FaultKind) String() string {
 		return "latency_spike"
 	case FaultLatencyRestore:
 		return "latency_restore"
+	case FaultKillWipe:
+		return "kill_wipe"
+	case FaultRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -96,7 +109,7 @@ func (f Fault) String() string {
 	switch f.Kind {
 	case FaultPartition:
 		return fmt.Sprintf("t=%v partition %v", f.At, f.Groups)
-	case FaultCrash, FaultRestart:
+	case FaultCrash, FaultRestart, FaultKillWipe, FaultRejoin:
 		return fmt.Sprintf("t=%v %s node %d", f.At, f.Kind, f.Node)
 	case FaultDropRate:
 		return fmt.Sprintf("t=%v drop_rate %.2f", f.At, f.Rate)

@@ -58,6 +58,17 @@ func NewChecker(nodes ...NodeView) *Checker {
 	}
 }
 
+// Replace swaps node i's view after a chaos rebuild (FaultRejoin). The
+// fresh process restarts from zero or from an archive checkpoint, so the
+// per-node watermarks reset; the canonical hashes are kept, so everything
+// the replacement re-closes must still agree with the network's history —
+// the byte-identical reconvergence check.
+func (c *Checker) Replace(i int, n NodeView) {
+	c.nodes[i] = n
+	c.checked[i] = 0
+	c.lastSeq[i] = 0
+}
+
 // Check verifies safety and monotonicity over everything closed since the
 // last call. It returns nil when both hold.
 func (c *Checker) Check() *InvariantError {

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"stellar/internal/experiments"
 	"stellar/internal/fba"
+	"stellar/internal/herder"
+	"stellar/internal/history"
 	"stellar/internal/obs"
 	"stellar/internal/obs/flight"
 	"stellar/internal/obs/slo"
@@ -185,7 +188,9 @@ func NewRunner(sc Scenario, ob *obs.Obs) (*Runner, error) {
 			}
 			return qs
 		},
-		Trace: sc.Trace,
+		ArchiveDirFor:      sc.ArchiveDirFor,
+		CheckpointInterval: sc.CheckpointInterval,
+		Trace:              sc.Trace,
 	}
 	sim, err := experiments.Build(opts)
 	if err != nil {
@@ -266,8 +271,10 @@ func (r *Runner) sampleProbes(now time.Duration) {
 	}
 }
 
-// apply injects one fault into the running network.
-func (r *Runner) apply(f Fault) {
+// apply injects one fault into the running network. Faults that touch
+// durable state (kill_wipe, rejoin) can fail on a misconfigured scenario;
+// that is a harness error, not an invariant violation.
+func (r *Runner) apply(f Fault) error {
 	net := r.Sim.Net
 	addr := func(i int) simnet.Addr { return r.Sim.Nodes[i].Addr() }
 	switch f.Kind {
@@ -301,11 +308,87 @@ func (r *Runner) apply(f Fault) {
 		})
 	case FaultLatencyRestore:
 		net.SetLatency(r.baseLatency)
+	case FaultKillWipe:
+		net.SetDown(addr(f.Node))
+		if err := r.wipeArchive(f.Node); err != nil {
+			return fmt.Errorf("chaos: kill_wipe node %d: %w", f.Node, err)
+		}
+	case FaultRejoin:
+		if err := r.rejoin(f.Node); err != nil {
+			return fmt.Errorf("chaos: rejoin node %d: %w", f.Node, err)
+		}
 	}
 	if r.ins != nil {
 		r.ins.faults.With(f.Kind.String()).Inc()
 	}
 	r.log.Info("fault injected", "fault", f.String(), "t", net.Now())
+	return nil
+}
+
+// wipeArchive destroys node i's archive directory and reopens it empty —
+// the disk half of kill_wipe. The crashed node's old in-memory handle is
+// never used again (rejoin builds a replacement on the fresh handle).
+func (r *Runner) wipeArchive(i int) error {
+	a := r.Sim.Archives[i]
+	if a == nil {
+		return fmt.Errorf("no archive (scenario needs ArchiveDirFor)")
+	}
+	dir := a.Dir()
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	fresh, err := history.Open(dir)
+	if err != nil {
+		return err
+	}
+	r.Sim.Archives[i] = fresh
+	r.Sim.Configs[i].Archive = fresh
+	return nil
+}
+
+// rejoin replaces node i with a freshly built process sharing its
+// identity: herder.New re-registers the address on the simulated network
+// (replacing the dead handler), the overlay is re-meshed, and the node
+// boots the way a real restart would — restore-and-replay when its
+// archive still holds a checkpoint, network catchup when it was wiped.
+func (r *Runner) rejoin(i int) error {
+	cfg := r.Sim.Configs[i]
+	if cfg.Archive == nil {
+		return fmt.Errorf("no archive (scenario needs ArchiveDirFor)")
+	}
+	node, err := herder.New(r.Sim.Net, cfg)
+	if err != nil {
+		return err
+	}
+	r.Sim.Net.SetUp(node.Addr())
+	// The alert probe needs no rebinding: its engine judges the ring, and
+	// sampleProbes re-reads r.Sim.Nodes[i] each tick, so the next sample
+	// already snapshots the replacement's registry. Keeping the engine
+	// preserves its fired-alert history for the detection assertions.
+	r.Sim.Nodes[i] = node
+	r.Checker.Replace(i, node)
+	for j, peer := range r.Sim.Nodes {
+		if j == i {
+			continue
+		}
+		node.Overlay().Connect(peer.Addr())
+		peer.Overlay().Connect(node.Addr())
+	}
+	for _, adv := range r.Advs {
+		node.Overlay().Connect(adv.Addr())
+		adv.Connect(node.Addr())
+	}
+	if _, err := cfg.Archive.LatestCheckpointSeq(); err == nil {
+		// Disk survived: a warm restart — restore, replay, rejoin.
+		if _, err := node.RestoreFromArchive(cfg.Archive); err != nil {
+			return err
+		}
+		node.Start()
+		node.RebroadcastLatest()
+		return nil
+	}
+	// Disk wiped: cold-start over the network.
+	return node.StartNetworkCatchup(nil)
 }
 
 // fail records and wraps an invariant violation with everything needed to
@@ -365,7 +448,12 @@ func (r *Runner) Run() (*Report, error) {
 		if ie := advance(f.At); ie != nil {
 			return nil, r.fail(ie)
 		}
-		r.apply(f)
+		if err := r.apply(f); err != nil {
+			if r.ins != nil {
+				r.ins.scenarios.With("fail").Inc()
+			}
+			return nil, err
+		}
 	}
 
 	// The network is healed; the liveness-recovery clock starts.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"stellar/internal/obs/slo"
 )
 
 // Topology selects how validators' quorum sets are shaped.
@@ -61,6 +63,14 @@ type Scenario struct {
 	// AntiEntropy is the rebroadcast cadence (default 2 s) — the §6
 	// lesson: validators keep helping peers finish previous ledgers.
 	AntiEntropy time.Duration
+	// ArchiveDirFor gives validator i a private history archive at the
+	// returned directory ("" = none). Required by FaultKillWipe and
+	// FaultRejoin: peers need archives to serve network catchup from, and
+	// the victim needs one to fetch (or restore) into.
+	ArchiveDirFor func(i int) string
+	// CheckpointInterval is the archiving cadence in ledgers (0 = every
+	// ledger — what rejoin scenarios want, so a checkpoint always exists).
+	CheckpointInterval int
 	// Replay overrides the replay command printed on failure.
 	Replay string
 	// Trace attaches a causal span tracer to the honest validators; the
@@ -167,6 +177,63 @@ func PartitionHealScenario(seed int64) Scenario {
 			{At: 42 * time.Second, Kind: FaultHeal},
 		},
 		Replay: fmt.Sprintf("go run ./cmd/stellar-chaos -scenario partition-heal -seed %d", seed),
+	}
+}
+
+// KillWipeRejoinScenario is the durable-state acceptance scenario
+// (DESIGN.md §16): five validators, each archiving to a private data dir
+// (dirFor supplies the directories), lose three at once — enough that
+// consensus stalls and the detection layer must fire close-stall and
+// quorum-unavailable. The two bystanders later restart with their
+// in-memory state intact; the victim comes back as a brand-new process
+// that either lost its disk too (wipe=true: it cold-starts by fetching a
+// peer's archive over the network) or kept it (wipe=false: it restores
+// from its own archive and replays). Reconvergence is byte-identical by
+// construction: the invariant checker compares every header hash the
+// rejoined node re-closes against the canon the network externalized,
+// and the alerts must have resolved by the end of the liveness window.
+func KillWipeRejoinScenario(seed int64, wipe bool, dirFor func(i int) string) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	const validators = 5
+	perm := rng.Perm(validators)
+	victim, down1, down2 := perm[0], perm[1], perm[2]
+	name := "kill-restore-rejoin"
+	victimKill := FaultCrash
+	if wipe {
+		name = "kill-wipe-rejoin"
+		victimKill = FaultKillWipe
+	}
+	return Scenario{
+		Name:       name,
+		Seed:       seed,
+		Topology:   TopologyFlat,
+		Validators: validators,
+		TxRate:     8,
+		// Checkpoint every ledger so the bystanders always hold a
+		// checkpoint at the stall tip for the victim to fetch or restore.
+		ArchiveDirFor:      dirFor,
+		CheckpointInterval: 1,
+		Faults: Schedule{
+			// Three of five down: below the flat 3-of-5 threshold, so the
+			// survivors stall and their detection stacks light up.
+			{At: 12 * time.Second, Kind: victimKill, Node: victim},
+			{At: 12 * time.Second, Kind: FaultCrash, Node: down1},
+			{At: 12 * time.Second, Kind: FaultCrash, Node: down2},
+			// Bystanders return warm; quorum (4 of 5) re-forms without the
+			// victim, so ledgers close again while it is still gone.
+			{At: 44 * time.Second, Kind: FaultRestart, Node: down1},
+			{At: 44 * time.Second, Kind: FaultRestart, Node: down2},
+			// The victim returns as a fresh process and must rejoin via
+			// disk restore or network catchup, then reconverge.
+			{At: 52 * time.Second, Kind: FaultRejoin, Node: victim},
+		},
+		ExpectAlerts: []AlertExpectation{
+			{Alert: slo.RuleCloseStall, MustFire: true, MustResolve: true},
+			{Alert: slo.RuleQuorumUnavailable, MustFire: true, MustResolve: true},
+		},
+		LivenessLedgers: 3,
+		LivenessWindow:  90 * time.Second,
+		Replay:          fmt.Sprintf("go run ./cmd/stellar-chaos -scenario %s -seed %d", name, seed),
 	}
 }
 

@@ -52,6 +52,16 @@ type Options struct {
 	SparseTopology int
 	// ArchiveDir, when non-empty, attaches a shared history archive.
 	ArchiveDir string
+	// ArchiveDirFor, when set, gives validator i a PRIVATE archive at the
+	// returned directory ("" = none for that validator) — the durable-state
+	// deployment where every node owns its data dir. Overrides ArchiveDir.
+	ArchiveDirFor func(i int) string
+	// CheckpointInterval is the archiving validators' checkpoint cadence
+	// in ledgers (0 = every ledger).
+	CheckpointInterval int
+	// BucketSpillLevel makes archiving validators keep bucket-list levels
+	// at or above the index on disk instead of in RAM (0 = all in RAM).
+	BucketSpillLevel int
 	// NominationTimeout/BallotTimeout override SCP timer policies.
 	NominationTimeout func(round int) time.Duration
 	BallotTimeout     func(counter uint32) time.Duration
@@ -144,6 +154,13 @@ type SimNetwork struct {
 	Gen       *loadgen.Generator
 	NetworkID stellarcrypto.Hash
 	Archive   *history.Archive
+	// Archives holds validator i's private archive when ArchiveDirFor was
+	// set (nil entries where the validator has none).
+	Archives []*history.Archive
+	// Configs keeps each validator's herder configuration so a chaos
+	// harness can rebuild a node with the same identity after a crash
+	// that loses its in-memory state.
+	Configs   []herder.Config
 	Accounts  []loadgen.Account
 	MasterKey stellarcrypto.KeyPair
 	// Tracer is the shared span tracer when Options.Trace is set, nil
@@ -222,8 +239,20 @@ func Build(opts Options) (*SimNetwork, error) {
 			}
 			cfg.Obs.Tracer = s.Tracer
 		}
-		if arch != nil && i == 0 {
+		if opts.ArchiveDirFor != nil {
+			if dir := opts.ArchiveDirFor(i); dir != "" {
+				na, err := history.Open(dir)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Archive = na
+			}
+		} else if arch != nil && i == 0 {
 			cfg.Archive = arch // one archiving validator, as in production
+		}
+		if cfg.Archive != nil {
+			cfg.CheckpointInterval = opts.CheckpointInterval
+			cfg.BucketSpillLevel = opts.BucketSpillLevel
 		}
 		node, err := herder.New(s.Net, cfg)
 		if err != nil {
@@ -235,6 +264,8 @@ func Build(opts Options) (*SimNetwork, error) {
 		}
 		node.Bootstrap(state, 0)
 		s.Nodes = append(s.Nodes, node)
+		s.Archives = append(s.Archives, cfg.Archive)
+		s.Configs = append(s.Configs, cfg)
 	}
 
 	// Topology.

@@ -35,6 +35,10 @@ func (n *Node) handleCatchup(from simnet.Addr, p *overlay.Packet) {
 		n.serveCatchup(from, p.CatchupFrom)
 	case overlay.KindCatchupResp:
 		n.applyCatchup(p.CatchupItems)
+	case overlay.KindArchiveReq:
+		n.serveArchive(from, p)
+	case overlay.KindArchiveResp:
+		n.onArchiveResp(from, p)
 	}
 }
 

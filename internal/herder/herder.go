@@ -49,6 +49,16 @@ type Config struct {
 	// snapshots (§5.4). Validators typically do NOT host archives, so it
 	// is optional.
 	Archive *history.Archive
+	// CheckpointInterval is how many ledgers pass between bucket/checkpoint
+	// snapshots into the archive (headers and tx sets are archived every
+	// ledger regardless, so any checkpoint can replay to tip). 0 = every
+	// ledger.
+	CheckpointInterval int
+	// BucketSpillLevel > 0 spills bucket-list levels ≥ that index into the
+	// archive's disk store instead of holding them on the heap; level and
+	// list hashes are byte-identical either way. Requires Archive. 0 keeps
+	// the whole list in memory.
+	BucketSpillLevel int
 	// Governing marks the validator as participating in upgrade
 	// governance; DesiredUpgrades are the upgrades it votes for (§5.3).
 	Governing       bool
@@ -127,6 +137,9 @@ type Node struct {
 	// recent serves peer catch-up (catchup.go).
 	recent         map[uint32]recentLedger
 	lastCatchupReq time.Duration
+	// catchup is the cold-start network catchup state machine
+	// (netcatchup.go); nil unless StartNetworkCatchup is running.
+	catchup *netCatchup
 
 	// decided buffers externalized values for slots we cannot apply yet
 	// (missing tx set or missing predecessor ledgers).
@@ -275,6 +288,7 @@ func (n *Node) Bootstrap(genesis *ledger.State, closeTime int64) {
 	n.state.SetApplyCheck(n.cfg.ApplyCheck)
 	n.buckets = bucket.NewList()
 	n.buckets.SetPool(n.verifier.Pool)
+	n.attachBucketStore()
 	n.buckets.AddBatch(1, genesis.SnapshotAll())
 	genesis.TakeDirtySnapshot() // genesis entries are already in the list
 	hdr := ledger.GenesisHeader(genesis, closeTime)
@@ -685,12 +699,34 @@ func (n *Node) applyUpgrade(u Upgrade) {
 	}
 }
 
+// attachBucketStore points the bucket list's spilled levels at the
+// archive's content-addressed store when the node is configured durable.
+func (n *Node) attachBucketStore() {
+	if n.cfg.Archive == nil || n.cfg.BucketSpillLevel <= 0 {
+		return
+	}
+	if err := n.buckets.SetStore(n.cfg.Archive.BucketStore(), n.cfg.BucketSpillLevel); err != nil {
+		panic(fmt.Sprintf("herder: attach bucket store: %v", err))
+	}
+}
+
+// checkpointInterval normalizes the configured cadence.
+func (n *Node) checkpointInterval() uint32 {
+	if n.cfg.CheckpointInterval > 0 {
+		return uint32(n.cfg.CheckpointInterval)
+	}
+	return 1
+}
+
 func (n *Node) archiveLedger(hdr *ledger.Header, ts *ledger.TxSet) {
 	a := n.cfg.Archive
 	if err := a.PutHeader(hdr); err != nil {
 		return
 	}
 	if err := a.PutTxSet(hdr.LedgerSeq, ts); err != nil {
+		return
+	}
+	if hdr.LedgerSeq%n.checkpointInterval() != 0 {
 		return
 	}
 	hashes := n.buckets.BucketHashes()
@@ -742,6 +778,7 @@ func (n *Node) CatchUp(a *history.Archive) error {
 	n.state.SetApplyCheck(n.cfg.ApplyCheck)
 	n.buckets = buckets
 	n.buckets.SetPool(n.verifier.Pool)
+	n.attachBucketStore()
 	n.last = hdr
 	n.headers[hdr.LedgerSeq] = hdr.Hash()
 	n.nextSlot = uint64(hdr.LedgerSeq) + 1

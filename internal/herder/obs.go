@@ -35,6 +35,13 @@ type instruments struct {
 	poolSize  *obs.Gauge      // mempool_size
 	poolCap   *obs.Gauge      // mempool_capacity
 	poolFloor *obs.Gauge      // mempool_fee_floor
+
+	// Cold-start network catchup (netcatchup.go; DESIGN.md §16).
+	catchupState    *obs.Gauge      // catchup_state
+	catchupFiles    *obs.CounterVec // catchup_files_fetched_total{kind}
+	catchupBytes    *obs.Counter    // catchup_bytes_fetched_total
+	catchupRetries  *obs.Counter    // catchup_chunk_retries_total
+	catchupReplayed *obs.Counter    // catchup_ledgers_replayed_total
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -75,6 +82,16 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"configured mempool capacity (mempool_size/mempool_capacity is occupancy)"),
 		poolFloor: reg.Gauge("mempool_fee_floor",
 			"fee per operation of the cheapest pooled transaction while full (0 = not full)"),
+		catchupState: reg.Gauge("catchup_state",
+			"network catchup progress (0 idle, 1 discovering, 2 fetching, 3 restoring, 4 done)"),
+		catchupFiles: reg.CounterVec("catchup_files_fetched_total",
+			"archive files fetched and verified over the network", "kind"),
+		catchupBytes: reg.Counter("catchup_bytes_fetched_total",
+			"archive bytes fetched over the network"),
+		catchupRetries: reg.Counter("catchup_chunk_retries_total",
+			"catchup chunks re-requested after timeout or checksum mismatch"),
+		catchupReplayed: reg.Counter("catchup_ledgers_replayed_total",
+			"ledgers replayed from the fetched archive to reach the tip"),
 	}
 }
 

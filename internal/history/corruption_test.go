@@ -67,8 +67,8 @@ func damage(t *testing.T, what string, fn func() error) error {
 func TestTruncatedArchiveFiles(t *testing.T) {
 	a, _, _ := buildArchive(t)
 	files := map[string]func() error{
-		"headers/00000007.gob":     func() error { _, err := a.GetHeader(7); return err },
-		"checkpoints/00000007.gob": func() error { _, err := a.GetCheckpoint(7); return err },
+		"headers/00000007.xdr":     func() error { _, err := a.GetHeader(7); return err },
+		"checkpoints/00000007.xdr": func() error { _, err := a.GetCheckpoint(7); return err },
 	}
 	for rel, read := range files {
 		path := filepath.Join(a.Dir(), rel)
@@ -123,8 +123,8 @@ func TestBitFlippedArchiveFiles(t *testing.T) {
 		return nil
 	}
 	files := map[string]func() error{
-		"headers/00000007.gob":     checkHeader,
-		"checkpoints/00000007.gob": checkCheckpoint,
+		"headers/00000007.xdr":     checkHeader,
+		"checkpoints/00000007.xdr": checkCheckpoint,
 	}
 	for rel, read := range files {
 		path := filepath.Join(a.Dir(), rel)
@@ -160,7 +160,7 @@ func TestBitFlippedArchiveFiles(t *testing.T) {
 // content-address check must refuse it.
 func TestCorruptBucketRejected(t *testing.T) {
 	a, _, cp := buildArchive(t)
-	rel := fmt.Sprintf("buckets/%s.gob", cp.BucketHashes[0].Hex())
+	rel := fmt.Sprintf("buckets/%s.bucket", cp.BucketHashes[0].Hex())
 	path := filepath.Join(a.Dir(), rel)
 	orig, err := os.ReadFile(path)
 	if err != nil {
@@ -190,11 +190,11 @@ func TestMisfiledArchiveEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Copy seq 9's file over seq 7's.
-	data, err := os.ReadFile(filepath.Join(a.Dir(), "headers/00000009.gob"))
+	data, err := os.ReadFile(filepath.Join(a.Dir(), "headers/00000009.xdr"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(a.Dir(), "headers/00000007.gob"), data, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(a.Dir(), "headers/00000007.xdr"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.GetHeader(7); err == nil {

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"stellar/internal/bucket"
+	"stellar/internal/ledger"
+	"stellar/internal/stellarcrypto"
+)
+
+// TestGobFallback writes archive files the way the previous release did —
+// gob payloads under .gob names — and checks the current reader still
+// decodes them, so operators can upgrade a node without regenerating its
+// archive.
+func TestGobFallback(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := &ledger.Header{
+		LedgerSeq:    5,
+		Prev:         stellarcrypto.HashBytes([]byte("p")),
+		SnapshotHash: stellarcrypto.HashBytes([]byte("s")),
+		CloseTime:    99,
+	}
+	data, err := encodeGob(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeFile("headers/00000005.gob", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.GetHeader(5)
+	if err != nil {
+		t.Fatalf("legacy gob header unreadable: %v", err)
+	}
+	if got.Hash() != hdr.Hash() {
+		t.Fatal("legacy gob header decoded to different content")
+	}
+
+	ts := &ledger.TxSet{PrevLedgerHash: hdr.Prev}
+	if data, err = encodeGob(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeFile("txsets/00000005.gob", data); err != nil {
+		t.Fatal(err)
+	}
+	gotTS, err := a.GetTxSet(5)
+	if err != nil {
+		t.Fatalf("legacy gob txset unreadable: %v", err)
+	}
+	if gotTS.PrevLedgerHash != ts.PrevLedgerHash {
+		t.Fatal("legacy gob txset decoded to different content")
+	}
+
+	b := bucket.NewBucket([]bucket.Entry{{Key: "a|legacy", Data: []byte("x")}})
+	if data, err = encodeGob(b.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeFile(fmt.Sprintf("buckets/%s.gob", b.Hash().Hex()), data); err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := a.GetBucket(b.Hash())
+	if err != nil {
+		t.Fatalf("legacy gob bucket unreadable: %v", err)
+	}
+	if gotB.Hash() != b.Hash() {
+		t.Fatal("legacy gob bucket decoded to different content")
+	}
+
+	cp := &Checkpoint{LedgerSeq: 5, HeaderHash: hdr.Hash()}
+	for i := 0; i < 2*bucket.NumLevels; i++ {
+		cp.BucketHashes = append(cp.BucketHashes, bucket.EmptyBucket().Hash())
+	}
+	if data, err = encodeGob(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeFile("checkpoints/00000005.gob", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeFile("checkpoints/latest", []byte("5")); err != nil {
+		t.Fatal(err)
+	}
+	gotCP, err := a.LatestCheckpoint()
+	if err != nil {
+		t.Fatalf("legacy gob checkpoint unreadable: %v", err)
+	}
+	if gotCP.HeaderHash != cp.HeaderHash {
+		t.Fatal("legacy gob checkpoint decoded to different content")
+	}
+
+	// A re-archived value writes the canonical format, which then wins.
+	if err := a.PutHeader(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = a.GetHeader(5); err != nil || got.Hash() != hdr.Hash() {
+		t.Fatalf("re-archived header: %v", err)
+	}
+}

@@ -14,12 +14,16 @@ import (
 	"path/filepath"
 
 	"stellar/internal/bucket"
+	"stellar/internal/bucket/disk"
 	"stellar/internal/ledger"
 	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
 )
 
 func init() {
-	// Operations travel inside archived transactions as interface values.
+	// Operations travel inside legacy gob-archived transactions as
+	// interface values; registration stays until the gob decode fallback
+	// is dropped.
 	gob.Register(&ledger.CreateAccount{})
 	gob.Register(&ledger.Payment{})
 	gob.Register(&ledger.PathPayment{})
@@ -32,9 +36,16 @@ func init() {
 	gob.Register(&ledger.BumpSequence{})
 }
 
-// Archive is a directory-backed, append-only history archive.
+// Archive is a directory-backed, append-only history archive. Headers,
+// transaction sets, and checkpoints are canonical XDR (versioned) so
+// archives are portable across Go versions and shareable between nodes;
+// files written by older releases in gob are still readable. Buckets live
+// in a content-addressed bucket store under buckets/ — the same format a
+// disk-backed bucket.List uses, so a node pointing its list's store at
+// the archive directory stores each bucket exactly once.
 type Archive struct {
-	dir string
+	dir   string
+	store *disk.Store
 }
 
 // Open creates (if necessary) and opens an archive rooted at dir.
@@ -44,11 +55,20 @@ func Open(dir string) (*Archive, error) {
 			return nil, fmt.Errorf("history: create archive: %w", err)
 		}
 	}
-	return &Archive{dir: dir}, nil
+	store, err := disk.Open(filepath.Join(dir, "buckets"))
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{dir: dir, store: store}, nil
 }
 
 // Dir returns the archive root.
 func (a *Archive) Dir() string { return a.dir }
+
+// BucketStore exposes the archive's content-addressed bucket store. A
+// node may hand it to bucket.List.SetStore so its spilled levels and its
+// archive share one set of bucket files.
+func (a *Archive) BucketStore() *disk.Store { return a.store }
 
 // Every archive file is framed as magic ‖ sha256(payload) ‖ payload, so
 // a read detects any bit rot or truncation with certainty rather than
@@ -57,23 +77,59 @@ func (a *Archive) Dir() string { return a.dir }
 // archives live on (§5.4) give no integrity guarantee of their own.
 const archiveMagic = "STLRHIS1"
 
-// writeFile writes atomically-ish (temp + rename) to keep the archive
-// consistent under crashes, framing the payload with its checksum.
+// codecVersion prefixes every XDR payload so the format can evolve while
+// old files stay readable.
+const codecVersion = 1
+
+// writeFile writes crash-safely: the framed payload goes to a unique temp
+// file which is fsynced before an atomic rename, and the directory entry
+// is fsynced after — a crash at any instant leaves either the old file,
+// no file, or the complete new file, never a torn one.
 func (a *Archive) writeFile(rel string, data []byte) error {
 	path := filepath.Join(a.dir, rel)
-	tmp := path + ".tmp"
 	sum := sha256.Sum256(data)
 	framed := make([]byte, 0, len(archiveMagic)+len(sum)+len(data))
 	framed = append(framed, archiveMagic...)
 	framed = append(framed, sum[:]...)
 	framed = append(framed, data...)
-	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("history: write %s: %w", rel, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("history: write %s: %w", rel, err)
+	}
+	if _, err := f.Write(framed); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
 		return fmt.Errorf("history: write %s: %w", rel, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
 		return fmt.Errorf("history: rename %s: %w", rel, err)
 	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("history: sync dir for %s: %w", rel, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (a *Archive) readFile(rel string) ([]byte, error) {
@@ -123,71 +179,127 @@ func decodeGob(data []byte, v any) (err error) {
 	return nil
 }
 
+// newPayload starts a versioned canonical XDR payload.
+func newPayload() *xdr.Encoder {
+	e := xdr.NewEncoder(512)
+	e.PutUint32(codecVersion)
+	return e
+}
+
+// openPayload checks the version prefix of a canonical XDR payload.
+func openPayload(data []byte) (*xdr.Decoder, error) {
+	d := xdr.NewDecoder(data)
+	v, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	if v != codecVersion {
+		return nil, fmt.Errorf("history: unsupported archive codec version %d", v)
+	}
+	return d, nil
+}
+
+// readEither reads the canonical file if present, else the legacy gob
+// file; isGob reports which decoded. The canonical extension wins even
+// when both exist (re-archiving upgrades files in place).
+func (a *Archive) readEither(base string) (data []byte, isGob bool, err error) {
+	if _, serr := os.Stat(filepath.Join(a.dir, base+".xdr")); serr == nil {
+		data, err = a.readFile(base + ".xdr")
+		return data, false, err
+	}
+	data, err = a.readFile(base + ".gob")
+	return data, true, err
+}
+
 // PutTxSet archives the transaction set confirmed for a ledger.
 func (a *Archive) PutTxSet(seq uint32, ts *ledger.TxSet) error {
-	data, err := encodeGob(ts)
-	if err != nil {
-		return err
-	}
-	return a.writeFile(fmt.Sprintf("txsets/%08d.gob", seq), data)
+	e := newPayload()
+	ts.EncodeXDR(e)
+	return a.writeFile(fmt.Sprintf("txsets/%08d.xdr", seq), e.Bytes())
 }
 
 // GetTxSet retrieves an archived transaction set ("there needs to be some
 // place one can look up a transaction from two years ago", §5.4).
 func (a *Archive) GetTxSet(seq uint32) (*ledger.TxSet, error) {
-	data, err := a.readFile(fmt.Sprintf("txsets/%08d.gob", seq))
+	data, isGob, err := a.readEither(fmt.Sprintf("txsets/%08d", seq))
 	if err != nil {
 		return nil, err
 	}
-	var ts ledger.TxSet
-	if err := decodeGob(data, &ts); err != nil {
+	if isGob {
+		var ts ledger.TxSet
+		if err := decodeGob(data, &ts); err != nil {
+			return nil, err
+		}
+		return &ts, nil
+	}
+	d, err := openPayload(data)
+	if err != nil {
 		return nil, err
 	}
-	return &ts, nil
+	ts, err := ledger.DecodeTxSetXDR(d)
+	if err != nil {
+		return nil, fmt.Errorf("history: decode txset %08d: %w", seq, err)
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("history: txset %08d: %d trailing bytes", seq, d.Remaining())
+	}
+	return ts, nil
 }
 
 // PutHeader archives a closed ledger header.
 func (a *Archive) PutHeader(h *ledger.Header) error {
-	data, err := encodeGob(h)
-	if err != nil {
-		return err
-	}
-	return a.writeFile(fmt.Sprintf("headers/%08d.gob", h.LedgerSeq), data)
+	e := newPayload()
+	h.EncodeXDR(e)
+	return a.writeFile(fmt.Sprintf("headers/%08d.xdr", h.LedgerSeq), e.Bytes())
 }
 
 // GetHeader retrieves an archived header.
 func (a *Archive) GetHeader(seq uint32) (*ledger.Header, error) {
-	data, err := a.readFile(fmt.Sprintf("headers/%08d.gob", seq))
+	data, isGob, err := a.readEither(fmt.Sprintf("headers/%08d", seq))
 	if err != nil {
 		return nil, err
 	}
-	var h ledger.Header
-	if err := decodeGob(data, &h); err != nil {
-		return nil, err
+	var h *ledger.Header
+	if isGob {
+		h = &ledger.Header{}
+		if err := decodeGob(data, h); err != nil {
+			return nil, err
+		}
+	} else {
+		d, err := openPayload(data)
+		if err != nil {
+			return nil, err
+		}
+		if h, err = ledger.DecodeHeaderXDR(d); err != nil {
+			return nil, fmt.Errorf("history: decode header %08d: %w", seq, err)
+		}
+		if !d.Done() {
+			return nil, fmt.Errorf("history: header %08d: %d trailing bytes", seq, d.Remaining())
+		}
 	}
 	if h.LedgerSeq != seq {
 		return nil, fmt.Errorf("history: header file %08d contains seq %d", seq, h.LedgerSeq)
 	}
-	return &h, nil
+	return h, nil
 }
 
-// PutBucket archives a bucket, content-addressed by its hash; writing the
-// same bucket twice is a no-op.
+// PutBucket archives a bucket into the content-addressed store; writing
+// the same bucket twice is a no-op.
 func (a *Archive) PutBucket(b *bucket.Bucket) error {
-	rel := fmt.Sprintf("buckets/%s.gob", b.Hash().Hex())
-	if _, err := os.Stat(filepath.Join(a.dir, rel)); err == nil {
-		return nil // already archived
-	}
-	data, err := encodeGob(b.Entries())
-	if err != nil {
-		return err
-	}
-	return a.writeFile(rel, data)
+	return a.store.Put(b)
 }
 
-// GetBucket retrieves a bucket by hash, verifying integrity.
+// GetBucket retrieves a bucket by hash, verifying integrity. Buckets
+// archived by older releases as gob files are still readable.
 func (a *Archive) GetBucket(hash stellarcrypto.Hash) (*bucket.Bucket, error) {
-	data, err := a.readFile(fmt.Sprintf("buckets/%s.gob", hash.Hex()))
+	if a.store.Has(hash) {
+		return a.store.Load(hash)
+	}
+	legacy := fmt.Sprintf("buckets/%s.gob", hash.Hex())
+	if _, err := os.Stat(filepath.Join(a.dir, legacy)); err != nil {
+		return a.store.Load(hash) // surface the store's not-found error
+	}
+	data, err := a.readFile(legacy)
 	if err != nil {
 		return nil, err
 	}
@@ -211,13 +323,52 @@ type Checkpoint struct {
 	BucketHashes []stellarcrypto.Hash
 }
 
+// EncodeXDR appends the checkpoint's canonical encoding.
+func (cp *Checkpoint) EncodeXDR(e *xdr.Encoder) {
+	e.PutUint32(cp.LedgerSeq)
+	e.PutFixed(cp.HeaderHash[:])
+	e.PutUint32(uint32(len(cp.BucketHashes)))
+	for _, h := range cp.BucketHashes {
+		e.PutFixed(h[:])
+	}
+}
+
+// DecodeCheckpointXDR parses a checkpoint written by EncodeXDR.
+func DecodeCheckpointXDR(d *xdr.Decoder) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	var err error
+	if cp.LedgerSeq, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	hh, err := d.Fixed(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(cp.HeaderHash[:], hh)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 4*bucket.NumLevels {
+		return nil, fmt.Errorf("history: checkpoint declares %d bucket hashes", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		b, err := d.Fixed(32)
+		if err != nil {
+			return nil, err
+		}
+		var h stellarcrypto.Hash
+		copy(h[:], b)
+		cp.BucketHashes = append(cp.BucketHashes, h)
+	}
+	return cp, nil
+}
+
 // PutCheckpoint archives a checkpoint and updates the latest pointer.
 func (a *Archive) PutCheckpoint(cp *Checkpoint) error {
-	data, err := encodeGob(cp)
-	if err != nil {
-		return err
-	}
-	if err := a.writeFile(fmt.Sprintf("checkpoints/%08d.gob", cp.LedgerSeq), data); err != nil {
+	e := newPayload()
+	cp.EncodeXDR(e)
+	if err := a.writeFile(fmt.Sprintf("checkpoints/%08d.xdr", cp.LedgerSeq), e.Bytes()); err != nil {
 		return err
 	}
 	return a.writeFile("checkpoints/latest", []byte(fmt.Sprintf("%d", cp.LedgerSeq)))
@@ -225,31 +376,54 @@ func (a *Archive) PutCheckpoint(cp *Checkpoint) error {
 
 // LatestCheckpoint returns the newest archived checkpoint.
 func (a *Archive) LatestCheckpoint() (*Checkpoint, error) {
-	data, err := a.readFile("checkpoints/latest")
+	seq, err := a.LatestCheckpointSeq()
 	if err != nil {
 		return nil, err
-	}
-	var seq uint32
-	if _, err := fmt.Sscanf(string(data), "%d", &seq); err != nil {
-		return nil, fmt.Errorf("history: bad latest pointer: %w", err)
 	}
 	return a.GetCheckpoint(seq)
 }
 
+// LatestCheckpointSeq returns the sequence the latest pointer names.
+func (a *Archive) LatestCheckpointSeq() (uint32, error) {
+	data, err := a.readFile("checkpoints/latest")
+	if err != nil {
+		return 0, err
+	}
+	var seq uint32
+	if _, err := fmt.Sscanf(string(data), "%d", &seq); err != nil {
+		return 0, fmt.Errorf("history: bad latest pointer: %w", err)
+	}
+	return seq, nil
+}
+
 // GetCheckpoint returns the checkpoint for a specific ledger.
 func (a *Archive) GetCheckpoint(seq uint32) (*Checkpoint, error) {
-	data, err := a.readFile(fmt.Sprintf("checkpoints/%08d.gob", seq))
+	data, isGob, err := a.readEither(fmt.Sprintf("checkpoints/%08d", seq))
 	if err != nil {
 		return nil, err
 	}
-	var cp Checkpoint
-	if err := decodeGob(data, &cp); err != nil {
-		return nil, err
+	var cp *Checkpoint
+	if isGob {
+		cp = &Checkpoint{}
+		if err := decodeGob(data, cp); err != nil {
+			return nil, err
+		}
+	} else {
+		d, err := openPayload(data)
+		if err != nil {
+			return nil, err
+		}
+		if cp, err = DecodeCheckpointXDR(d); err != nil {
+			return nil, fmt.Errorf("history: decode checkpoint %08d: %w", seq, err)
+		}
+		if !d.Done() {
+			return nil, fmt.Errorf("history: checkpoint %08d: %d trailing bytes", seq, d.Remaining())
+		}
 	}
 	if cp.LedgerSeq != seq {
 		return nil, fmt.Errorf("history: checkpoint file %08d contains seq %d", seq, cp.LedgerSeq)
 	}
-	return &cp, nil
+	return cp, nil
 }
 
 // RestoreBucketList rebuilds a bucket list from a checkpoint, fetching

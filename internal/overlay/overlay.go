@@ -30,6 +30,14 @@ const (
 	// (§5.4 catch-up when the history archive is not reachable).
 	KindCatchupReq
 	KindCatchupResp
+	// KindArchiveReq and KindArchiveResp are the cold-start catchup file
+	// protocol, also point-to-point: a node with an empty data dir fetches
+	// a peer's archive — checkpoint, headers, buckets, tx sets — in
+	// bounded chunks, verifies it, and replays to tip (netcatchup.go in
+	// the herder). A request with an empty Path is discovery: the reply
+	// carries the peer's latest checkpoint and tip sequences.
+	KindArchiveReq
+	KindArchiveResp
 )
 
 // String names the kind for metric labels and logs.
@@ -45,6 +53,10 @@ func (k Kind) String() string {
 		return "catchup_req"
 	case KindCatchupResp:
 		return "catchup_resp"
+	case KindArchiveReq:
+		return "archive_req"
+	case KindArchiveResp:
+		return "archive_resp"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -72,6 +84,22 @@ type Packet struct {
 	// Catch-up fields (point-to-point, not flooded).
 	CatchupFrom  uint32
 	CatchupItems []CatchupItem
+
+	// Archive-catchup fields (point-to-point, not flooded). A request
+	// names an archive-relative Path and an Offset; the response echoes
+	// them and carries one chunk of the raw file plus its Total size and
+	// the chunk's checksum. Discovery (empty Path) uses ArchiveSeq for the
+	// serving peer's latest checkpoint and ArchiveTip for its tip ledger;
+	// ArchiveErr reports a refusal ("no archive", "no such file") so the
+	// fetcher can fail over to another peer instead of timing out.
+	ArchivePath  string
+	ArchiveOff   int64
+	ArchiveTotal int64
+	ArchiveData  []byte
+	ArchiveSum   [32]byte
+	ArchiveSeq   uint32
+	ArchiveTip   uint32
+	ArchiveErr   string
 }
 
 // CatchupItem is one closed ledger for peer catch-up: the consensus value
@@ -126,6 +154,10 @@ func (p *Packet) size() int {
 			n += 320 + 224*len(it.TxSet.Txs)
 		}
 		return n
+	case KindArchiveReq:
+		return 64 + len(p.ArchivePath)
+	case KindArchiveResp:
+		return 128 + len(p.ArchivePath) + len(p.ArchiveData)
 	default:
 		return 0
 	}
@@ -357,7 +389,8 @@ func (o *Overlay) HandleMessage(from simnet.Addr, msg any, size int) {
 	if !ok {
 		return
 	}
-	if p.Kind == KindCatchupReq || p.Kind == KindCatchupResp {
+	if p.Kind == KindCatchupReq || p.Kind == KindCatchupResp ||
+		p.Kind == KindArchiveReq || p.Kind == KindArchiveResp {
 		if o.OnCatchup != nil {
 			o.OnCatchup(from, p)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"stellar/internal/obs"
 	"stellar/internal/overlay"
+	"stellar/internal/stellarcrypto"
 )
 
 // frameSeeds returns wire inputs covering each frame type, hostile
@@ -40,6 +41,29 @@ func frameSeeds() [][]byte {
 	if p, err := EncodePacket(&overlay.Packet{
 		Kind: overlay.KindCatchupReq, CatchupFrom: 9, TTL: 1, Origin: "G",
 		Trace: obs.TraceContext{Trace: ^uint64(0), Parent: 1},
+	}); err == nil {
+		add(FramePacket, p)
+	}
+	// Archive catchup kinds (v3 wire fields): a chunk request, a data
+	// chunk with its checksum, and a discovery answer.
+	if p, err := EncodePacket(&overlay.Packet{
+		Kind: overlay.KindArchiveReq, Origin: "G",
+		ArchivePath: "buckets/ab/cdef.bucket", ArchiveOff: 131072,
+	}); err == nil {
+		add(FramePacket, p)
+	}
+	if p, err := EncodePacket(&overlay.Packet{
+		Kind: overlay.KindArchiveResp, Origin: "G",
+		ArchivePath: "headers/00000010.xdr", ArchiveTotal: 9,
+		ArchiveData: []byte("chunkdata"),
+		ArchiveSum:  stellarcrypto.HashBytes([]byte("chunkdata")),
+		ArchiveSeq:  16, ArchiveTip: 19,
+	}); err == nil {
+		add(FramePacket, p)
+	}
+	if p, err := EncodePacket(&overlay.Packet{
+		Kind: overlay.KindArchiveResp, Origin: "G",
+		ArchiveData: []byte{}, ArchiveSeq: 16, ArchiveTip: 19,
 	}); err == nil {
 		add(FramePacket, p)
 	}

@@ -16,6 +16,7 @@ import (
 	"stellar/internal/scp"
 	"stellar/internal/simnet"
 	"stellar/internal/stellarcrypto"
+	"stellar/internal/xdr"
 )
 
 var testNetworkID = stellarcrypto.HashBytes([]byte("transport-test"))
@@ -265,6 +266,18 @@ func TestPacketRoundTrip(t *testing.T) {
 		{Kind: overlay.KindCatchupReq, CatchupFrom: 17, TTL: 0, Origin: "GORIGIN"},
 		{Kind: overlay.KindCatchupResp, TTL: 0, Origin: "GORIGIN",
 			CatchupItems: []overlay.CatchupItem{{Slot: 9, Value: []byte("sv"), TxSet: ts}}},
+		{Kind: overlay.KindArchiveReq, TTL: 0, Origin: "GORIGIN"}, // discovery: empty path
+		{Kind: overlay.KindArchiveReq, TTL: 0, Origin: "GORIGIN",
+			ArchivePath: "buckets/ab/cdef.bucket", ArchiveOff: 131072},
+		{Kind: overlay.KindArchiveResp, TTL: 0, Origin: "GORIGIN",
+			ArchiveData: []byte{}, ArchiveSeq: 16, ArchiveTip: 19}, // discovery answer
+		{Kind: overlay.KindArchiveResp, TTL: 0, Origin: "GORIGIN",
+			ArchivePath: "headers/00000010.xdr", ArchiveOff: 0, ArchiveTotal: 9,
+			ArchiveData: []byte("chunkdata"),
+			ArchiveSum:  stellarcrypto.HashBytes([]byte("chunkdata")),
+			ArchiveSeq:  16, ArchiveTip: 19},
+		{Kind: overlay.KindArchiveResp, TTL: 0, Origin: "GORIGIN",
+			ArchivePath: "headers/99999999.xdr", ArchiveData: []byte{}, ArchiveErr: "no such file"},
 	}
 	for _, want := range packets {
 		payload, err := EncodePacket(want)
@@ -302,6 +315,28 @@ func TestDecodePacketRejectsHostile(t *testing.T) {
 	huge = binary.BigEndian.AppendUint32(huge, 0)         // origin ""
 	huge = binary.BigEndian.AppendUint32(huge, 1_000_000) // item count
 	cases["catchup count"] = huge
+	// Archive request whose path exceeds maxArchivePath.
+	longPath := xdr.NewEncoder(512)
+	longPath.PutUint32(uint32(overlay.KindArchiveReq))
+	longPath.PutUint32(0)  // ttl
+	longPath.PutString("") // origin
+	longPath.PutUint64(0)  // trace
+	longPath.PutUint64(0)  // parent
+	longPath.PutString(string(bytes.Repeat([]byte{'a'}, maxArchivePath+1)))
+	longPath.PutInt64(0) // offset
+	cases["archive path"] = append([]byte{}, longPath.Bytes()...)
+	// Archive response carrying a chunk beyond maxArchiveChunk.
+	bigChunk := xdr.NewEncoder(512)
+	bigChunk.PutUint32(uint32(overlay.KindArchiveResp))
+	bigChunk.PutUint32(0)  // ttl
+	bigChunk.PutString("") // origin
+	bigChunk.PutUint64(0)  // trace
+	bigChunk.PutUint64(0)  // parent
+	bigChunk.PutString("buckets/x")
+	bigChunk.PutInt64(0) // offset
+	bigChunk.PutInt64(0) // total
+	bigChunk.PutBytes(make([]byte, maxArchiveChunk+1))
+	cases["archive chunk"] = append([]byte{}, bigChunk.Bytes()...)
 
 	for name, in := range cases {
 		if _, err := DecodePacket(in); err == nil {

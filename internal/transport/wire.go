@@ -14,7 +14,8 @@ import (
 // ProtocolVersion is the overlay wire protocol version carried in the
 // hello; peers speaking a different version are dropped at handshake.
 // v2 added the propagated trace context (two uint64s after Origin).
-const ProtocolVersion = 2
+// v3 added the archive catchup kinds (cold-start file fetch).
+const ProtocolVersion = 3
 
 // Hello opens the handshake in both directions: each side announces its
 // protocol version, network, claimed identity, and a fresh random
@@ -106,6 +107,15 @@ func decodeAuth(payload []byte) ([]byte, error) {
 // its recent window (128 ledgers), so anything larger is hostile.
 const maxCatchupItems = 1024
 
+// maxArchivePath and maxArchiveChunk bound the archive catchup fields: a
+// path is one archive-relative file name, and a chunk never exceeds the
+// server's 128 KiB read unit (history.MaxChunkLen; restated here so the
+// wire layer does not depend on the history package).
+const (
+	maxArchivePath  = 256
+	maxArchiveChunk = 128 << 10
+)
+
 // EncodePacket returns the wire payload for one overlay packet.
 func EncodePacket(p *overlay.Packet) ([]byte, error) {
 	e := xdr.NewEncoder(512)
@@ -147,6 +157,18 @@ func EncodePacket(p *overlay.Packet) ([]byte, error) {
 			}
 			it.TxSet.EncodeXDR(e)
 		}
+	case overlay.KindArchiveReq:
+		e.PutString(p.ArchivePath)
+		e.PutInt64(p.ArchiveOff)
+	case overlay.KindArchiveResp:
+		e.PutString(p.ArchivePath)
+		e.PutInt64(p.ArchiveOff)
+		e.PutInt64(p.ArchiveTotal)
+		e.PutBytes(p.ArchiveData)
+		e.PutFixed(p.ArchiveSum[:])
+		e.PutUint32(p.ArchiveSeq)
+		e.PutUint32(p.ArchiveTip)
+		e.PutString(p.ArchiveErr)
 	default:
 		return nil, fmt.Errorf("transport: cannot encode packet kind %v", p.Kind)
 	}
@@ -220,6 +242,52 @@ func DecodePacket(payload []byte) (*overlay.Packet, error) {
 				return nil, err
 			}
 			p.CatchupItems = append(p.CatchupItems, it)
+		}
+	case overlay.KindArchiveReq:
+		if p.ArchivePath, err = d.String(); err != nil {
+			return nil, err
+		}
+		if len(p.ArchivePath) > maxArchivePath {
+			return nil, fmt.Errorf("transport: archive path %d bytes", len(p.ArchivePath))
+		}
+		if p.ArchiveOff, err = d.Int64(); err != nil {
+			return nil, err
+		}
+	case overlay.KindArchiveResp:
+		if p.ArchivePath, err = d.String(); err != nil {
+			return nil, err
+		}
+		if len(p.ArchivePath) > maxArchivePath {
+			return nil, fmt.Errorf("transport: archive path %d bytes", len(p.ArchivePath))
+		}
+		if p.ArchiveOff, err = d.Int64(); err != nil {
+			return nil, err
+		}
+		if p.ArchiveTotal, err = d.Int64(); err != nil {
+			return nil, err
+		}
+		if p.ArchiveData, err = d.Bytes(); err != nil {
+			return nil, err
+		}
+		if len(p.ArchiveData) > maxArchiveChunk {
+			return nil, fmt.Errorf("transport: archive chunk %d bytes", len(p.ArchiveData))
+		}
+		sum, err := d.Fixed(32)
+		if err != nil {
+			return nil, err
+		}
+		copy(p.ArchiveSum[:], sum)
+		if p.ArchiveSeq, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if p.ArchiveTip, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if p.ArchiveErr, err = d.String(); err != nil {
+			return nil, err
+		}
+		if len(p.ArchiveErr) > maxArchivePath {
+			return nil, fmt.Errorf("transport: archive error %d bytes", len(p.ArchiveErr))
 		}
 	default:
 		return nil, fmt.Errorf("transport: unknown packet kind %d", kind)
